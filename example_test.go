@@ -1,0 +1,56 @@
+package whiteboard_test
+
+import (
+	"fmt"
+
+	whiteboard "repro"
+)
+
+// ExampleRun demonstrates the Section 3.1 protocol: rebuilding a forest
+// from one logarithmic-size message per node, in the weakest model.
+func ExampleRun() {
+	g := whiteboard.GraphFromEdges(5, [][2]int{{1, 2}, {2, 3}, {4, 5}})
+	res := whiteboard.Run(whiteboard.BuildForest(), g,
+		whiteboard.MinIDAdversary, whiteboard.Options{})
+	dec := res.Output.(whiteboard.ForestReconstruction)
+	fmt.Println(res.Status, dec.InClass, dec.Forest.Equal(g))
+	// Output: success true true
+}
+
+// ExampleRunAll demonstrates the exhaustive adversary: every write
+// schedule of the greedy MIS protocol on a path yields a valid answer, but
+// different schedules yield different (equally valid) sets.
+func ExampleRunAll() {
+	g := whiteboard.GraphFromEdges(4, [][2]int{{1, 2}, {2, 3}, {3, 4}})
+	outputs := map[string]bool{}
+	schedules, _ := whiteboard.RunAll(whiteboard.RootedMIS(1), g, whiteboard.Options{}, 1<<16,
+		func(res *whiteboard.Result, order []int) error {
+			outputs[fmt.Sprint(res.Output)] = true
+			return nil
+		})
+	fmt.Println(schedules, len(outputs))
+	// Output: 24 2
+}
+
+// ExampleForceModel demonstrates a hierarchy separation live: the SYNC BFS
+// protocol deadlocks when its messages are frozen at activation time
+// (ASYNC semantics) on an odd cycle with a second component.
+func ExampleForceModel() {
+	g := whiteboard.GraphFromEdges(6, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}})
+	native := whiteboard.Run(whiteboard.BFS(), g, whiteboard.MinIDAdversary, whiteboard.Options{})
+	frozen := whiteboard.Run(whiteboard.BFS(), g, whiteboard.MinIDAdversary,
+		whiteboard.ForceModel(whiteboard.Async))
+	fmt.Println(native.Status, frozen.Status)
+	// Output: success deadlock
+}
+
+// ExampleConnectivity demonstrates the Open Problem 2 protocol: one small
+// message per node decides connectivity and yields a spanning forest.
+func ExampleConnectivity() {
+	g := whiteboard.GraphFromEdges(6, [][2]int{{1, 2}, {2, 3}, {4, 5}, {5, 6}})
+	res := whiteboard.Run(whiteboard.Connectivity(), g,
+		whiteboard.RotorAdversary, whiteboard.Options{})
+	ans := res.Output.(whiteboard.ConnectivityAnswer)
+	fmt.Println(ans.Connected, ans.Components, ans.Roots)
+	// Output: false 2 [1 4]
+}

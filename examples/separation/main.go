@@ -1,0 +1,75 @@
+// Separation demo: the same protocols run under weaker synchronization
+// semantics and break — the operational face of the paper's hierarchy
+// (Theorem 4) and of Open Problem 3.
+//
+//	go run ./examples/separation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	whiteboard "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	fmt.Println("1. Rooted MIS (Theorem 5 vs Theorem 6)")
+	misDemo()
+	fmt.Println()
+	fmt.Println("2. EOB-BFS frozen messages tolerate adversarial delay (Theorem 7)")
+	eobDemo()
+	fmt.Println()
+	fmt.Println("3. General BFS needs write-time composition (Open Problem 3 evidence)")
+	bfsDemo()
+}
+
+func misDemo() {
+	g := graph.Path(6)
+	p := whiteboard.RootedMIS(1)
+
+	res := whiteboard.Run(p, g, whiteboard.MaxIDAdversary, whiteboard.Options{})
+	if res.Status != whiteboard.Success {
+		log.Fatal(res.Err)
+	}
+	set := res.Output.([]int)
+	fmt.Printf("   SIMSYNC (native): set %v — maximal independent: %v\n",
+		set, graph.IsMaximalIndependentSet(g, set))
+
+	// Freeze the same greedy rule at activation time (SIMASYNC): every
+	// non-neighbor of the root claims membership because the board was
+	// empty when it decided.
+	res = whiteboard.Run(p, g, whiteboard.MaxIDAdversary, whiteboard.ForceModel(whiteboard.SimAsync))
+	if res.Status != whiteboard.Success {
+		log.Fatal(res.Err)
+	}
+	set = res.Output.([]int)
+	fmt.Printf("   SIMASYNC (frozen): set %v — independent: %v  ⇒ the greedy rule NEEDS the board\n",
+		set, graph.IsIndependentSet(g, set))
+}
+
+func eobDemo() {
+	eob := whiteboard.GraphFromEdges(8, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}})
+	// Hold back node 4's frozen message as long as possible: the layer
+	// certificates make everyone below wait for it.
+	adv := whiteboard.StubbornAdversary(4, whiteboard.MinIDAdversary)
+	res := whiteboard.Run(whiteboard.EOBBFS(), eob, adv, whiteboard.Options{})
+	if res.Status != whiteboard.Success {
+		log.Fatal(res.Err)
+	}
+	f := res.Output.(whiteboard.BFSForest)
+	fmt.Printf("   stubborn delay of node 4: still the canonical forest: %v (order %v)\n",
+		graph.ValidateBFSForest(eob, f.Parent, f.Layer) == "", res.WriterOrder())
+}
+
+func bfsDemo() {
+	// C5 plus an isolated node: under native SYNC the second writer of the
+	// odd cycle's last layer reports d0=1 and the component closes; frozen
+	// at activation (ASYNC), d0 stays 0 and node 6 never starts.
+	g := whiteboard.GraphFromEdges(6, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}})
+	res := whiteboard.Run(whiteboard.BFS(), g, whiteboard.MinIDAdversary, whiteboard.Options{})
+	fmt.Printf("   SYNC native:  %v with %d/6 writes\n", res.Status, len(res.Writes))
+	res = whiteboard.Run(whiteboard.BFS(), g, whiteboard.MinIDAdversary, whiteboard.ForceModel(whiteboard.Async))
+	fmt.Printf("   ASYNC frozen: %v with %d/6 writes — the conjectured PASYNC ⊊ PSYNC gap, live\n",
+		res.Status, len(res.Writes))
+}

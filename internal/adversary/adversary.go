@@ -1,0 +1,178 @@
+// Package adversary provides write-order adversaries for the whiteboard
+// engine.
+//
+// In every model the adversary picks, each round, which active node's
+// message is appended to the whiteboard. Protocol correctness in the paper
+// is universally quantified over these choices; the engine's exhaustive mode
+// (engine.RunAll) enumerates them all for small inputs, while the adversaries
+// here provide deterministic and randomized single schedules for larger runs.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Adversary chooses the next writer among the candidate node identifiers
+// (ascending, non-empty). Implementations must return one of the candidates.
+type Adversary interface {
+	// Name identifies the adversary in reports.
+	Name() string
+	// Choose picks the writer for this round.
+	Choose(round int, candidates []int, b *core.Board) int
+}
+
+// MinID always picks the smallest candidate identifier.
+type MinID struct{}
+
+func (MinID) Name() string { return "min-id" }
+
+// Choose returns the smallest candidate.
+func (MinID) Choose(_ int, candidates []int, _ *core.Board) int { return candidates[0] }
+
+// MaxID always picks the largest candidate identifier.
+type MaxID struct{}
+
+func (MaxID) Name() string { return "max-id" }
+
+// Choose returns the largest candidate.
+func (MaxID) Choose(_ int, candidates []int, _ *core.Board) int {
+	return candidates[len(candidates)-1]
+}
+
+// Random picks uniformly at random with a fixed seed (reproducible).
+type Random struct {
+	rng *rand.Rand
+	id  string
+}
+
+// NewRandom returns a seeded random adversary.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), id: fmt.Sprintf("random(%d)", seed)}
+}
+
+func (r *Random) Name() string { return r.id }
+
+// Choose picks a uniformly random candidate.
+func (r *Random) Choose(_ int, candidates []int, _ *core.Board) int {
+	return candidates[r.rng.Intn(len(candidates))]
+}
+
+// Rotor cycles through residues: on round t it picks the candidate whose
+// identifier is t-th in a rotating shift, spreading writes across the ID
+// space. Deterministic and unrelated to graph structure.
+type Rotor struct{}
+
+func (Rotor) Name() string { return "rotor" }
+
+// Choose picks candidates[(round*7+3) mod len].
+func (Rotor) Choose(round int, candidates []int, _ *core.Board) int {
+	return candidates[(round*7+3)%len(candidates)]
+}
+
+// LastActivated prefers the candidate that most recently became eligible:
+// it picks the largest candidate not seen in earlier rounds' candidate
+// sets, approximating a "freshest hand first" schedule. Stateful; create a
+// new instance per run.
+type LastActivated struct {
+	seen map[int]bool
+}
+
+// NewLastActivated returns a fresh instance.
+func NewLastActivated() *LastActivated { return &LastActivated{seen: map[int]bool{}} }
+
+func (l *LastActivated) Name() string { return "last-activated" }
+
+// Choose implements Adversary.
+func (l *LastActivated) Choose(_ int, candidates []int, _ *core.Board) int {
+	pick := -1
+	for _, c := range candidates {
+		if !l.seen[c] {
+			pick = c // largest unseen (candidates ascending)
+		}
+	}
+	if pick < 0 {
+		pick = candidates[len(candidates)-1]
+	}
+	for _, c := range candidates {
+		l.seen[c] = true
+	}
+	return pick
+}
+
+// Stubborn delays a designated victim node as long as any other candidate
+// exists — the classic asynchronous-model attack (hold one frozen message
+// back arbitrarily long). Among non-victims it defers to an inner adversary.
+type Stubborn struct {
+	Victim int
+	Inner  Adversary
+}
+
+func (s Stubborn) Name() string { return fmt.Sprintf("stubborn(%d,%s)", s.Victim, s.Inner.Name()) }
+
+// Choose implements Adversary.
+func (s Stubborn) Choose(round int, candidates []int, b *core.Board) int {
+	others := make([]int, 0, len(candidates))
+	for _, c := range candidates {
+		if c != s.Victim {
+			others = append(others, c)
+		}
+	}
+	if len(others) == 0 {
+		return s.Victim
+	}
+	return s.Inner.Choose(round, others, b)
+}
+
+// Scripted replays a fixed total order over node identifiers: each round it
+// picks the earliest unwritten node in the script that is a candidate. Used
+// to reproduce specific executions (e.g. the paper's Lemma 4 SIMSYNC→ASYNC
+// translation fixes the order v1..vn).
+type Scripted struct {
+	Order []int
+	pos   map[int]int
+}
+
+// NewScripted builds a scripted adversary from a total order.
+func NewScripted(order []int) *Scripted {
+	pos := make(map[int]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	return &Scripted{Order: order, pos: pos}
+}
+
+func (s *Scripted) Name() string { return fmt.Sprintf("scripted%v", s.Order) }
+
+// Choose picks the candidate appearing earliest in the script; candidates
+// missing from the script lose to scripted ones and tie-break by ID.
+func (s *Scripted) Choose(_ int, candidates []int, _ *core.Board) int {
+	best := candidates[0]
+	bestPos := posOrMax(s.pos, best)
+	for _, c := range candidates[1:] {
+		if p := posOrMax(s.pos, c); p < bestPos {
+			best, bestPos = c, p
+		}
+	}
+	return best
+}
+
+func posOrMax(pos map[int]int, v int) int {
+	if p, ok := pos[v]; ok {
+		return p
+	}
+	return int(^uint(0) >> 1)
+}
+
+// Standard returns the deterministic adversaries plus `extraRandom` seeded
+// random ones — the battery used by correctness tests on graphs too large
+// for exhaustive schedule enumeration.
+func Standard(extraRandom int, seed int64) []Adversary {
+	advs := []Adversary{MinID{}, MaxID{}, Rotor{}, NewLastActivated()}
+	for i := 0; i < extraRandom; i++ {
+		advs = append(advs, NewRandom(seed+int64(i)))
+	}
+	return advs
+}

@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func candidates(ids ...int) []int { return ids }
+
+func TestMinMaxID(t *testing.T) {
+	b := core.NewBoard()
+	if got := (MinID{}).Choose(1, candidates(3, 5, 9), b); got != 3 {
+		t.Errorf("MinID chose %d", got)
+	}
+	if got := (MaxID{}).Choose(1, candidates(3, 5, 9), b); got != 9 {
+		t.Errorf("MaxID chose %d", got)
+	}
+}
+
+func TestRandomIsSeededAndValid(t *testing.T) {
+	a1 := NewRandom(7)
+	a2 := NewRandom(7)
+	b := core.NewBoard()
+	cs := candidates(2, 4, 6, 8)
+	for i := 0; i < 50; i++ {
+		c1 := a1.Choose(i, cs, b)
+		c2 := a2.Choose(i, cs, b)
+		if c1 != c2 {
+			t.Fatal("same seed must give the same schedule")
+		}
+		if !in(cs, c1) {
+			t.Fatalf("chose non-candidate %d", c1)
+		}
+	}
+}
+
+func TestRotorStaysInRange(t *testing.T) {
+	b := core.NewBoard()
+	for round := 0; round < 100; round++ {
+		for size := 1; size <= 5; size++ {
+			cs := make([]int, size)
+			for i := range cs {
+				cs[i] = i + 1
+			}
+			if got := (Rotor{}).Choose(round, cs, b); !in(cs, got) {
+				t.Fatalf("rotor chose %d from %v", got, cs)
+			}
+		}
+	}
+}
+
+func TestLastActivatedPrefersFreshCandidates(t *testing.T) {
+	a := NewLastActivated()
+	b := core.NewBoard()
+	if got := a.Choose(1, candidates(1, 2, 3), b); got != 3 {
+		t.Errorf("first round: chose %d, want 3 (largest unseen)", got)
+	}
+	// 4 is new; 1 and 2 were seen.
+	if got := a.Choose(2, candidates(1, 2, 4), b); got != 4 {
+		t.Errorf("second round: chose %d, want fresh 4", got)
+	}
+	// Nothing new: falls back to the largest.
+	if got := a.Choose(3, candidates(1, 2), b); got != 2 {
+		t.Errorf("third round: chose %d, want 2", got)
+	}
+}
+
+func TestStubbornDelaysVictim(t *testing.T) {
+	a := Stubborn{Victim: 5, Inner: MinID{}}
+	b := core.NewBoard()
+	if got := a.Choose(1, candidates(2, 5, 9), b); got != 2 {
+		t.Errorf("chose %d, want 2 (victim delayed)", got)
+	}
+	if got := a.Choose(2, candidates(5), b); got != 5 {
+		t.Errorf("chose %d, want 5 (victim is the only candidate)", got)
+	}
+}
+
+func TestScriptedFollowsOrder(t *testing.T) {
+	a := NewScripted([]int{4, 2, 3, 1})
+	b := core.NewBoard()
+	if got := a.Choose(1, candidates(1, 2, 3), b); got != 2 {
+		t.Errorf("chose %d, want 2 (earliest in script among candidates)", got)
+	}
+	if got := a.Choose(2, candidates(1, 3), b); got != 3 {
+		t.Errorf("chose %d, want 3", got)
+	}
+	// Unknown IDs lose to scripted ones.
+	if got := a.Choose(3, candidates(1, 99), b); got != 1 {
+		t.Errorf("chose %d, want 1", got)
+	}
+}
+
+func TestStandardBattery(t *testing.T) {
+	advs := Standard(3, 11)
+	if len(advs) != 7 {
+		t.Fatalf("battery size %d, want 7", len(advs))
+	}
+	names := map[string]bool{}
+	for _, a := range advs {
+		if a.Name() == "" {
+			t.Error("empty adversary name")
+		}
+		names[a.Name()] = true
+	}
+	if len(names) != len(advs) {
+		t.Error("duplicate adversary names in battery")
+	}
+}
+
+func in(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package bitio
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1<<63 - 1, 63}, {1 << 63, 64},
+	}
+	for _, c := range cases {
+		if got := Width(c.max); got != c.want {
+			t.Errorf("Width(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestWidthID(t *testing.T) {
+	if got := WidthID(0); got != 1 {
+		t.Errorf("WidthID(0) = %d, want 1", got)
+	}
+	if got := WidthID(1); got != 1 {
+		t.Errorf("WidthID(1) = %d, want 1", got)
+	}
+	if got := WidthID(16); got != 5 {
+		t.Errorf("WidthID(16) = %d, want 5", got)
+	}
+	if got := WidthID(1000); got != 10 {
+		t.Errorf("WidthID(1000) = %d, want 10", got)
+	}
+}
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Bits() != len(pattern) {
+		t.Fatalf("Bits() = %d, want %d", w.Bits(), len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrShortRead {
+		t.Errorf("read past end: got %v, want ErrShortRead", err)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9}, {1 << 40, 41},
+		{^uint64(0), 64},
+	}
+	for _, c := range vals {
+		w.WriteUint(c.v, c.width)
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for _, c := range vals {
+		got, err := r.ReadUint(c.width)
+		if err != nil {
+			t.Fatalf("ReadUint(%d): %v", c.width, err)
+		}
+		if got != c.v {
+			t.Errorf("round trip width %d: got %d, want %d", c.width, got, c.v)
+		}
+	}
+}
+
+func TestUintTooWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteUint(4, 2) should panic")
+		}
+	}()
+	var w Writer
+	w.WriteUint(4, 2)
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{0, 1, 15, 16, 255, 256, 1 << 20, 1<<64 - 1}
+	for _, v := range vals {
+		w.WriteUvarint(v)
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for _, v := range vals {
+		got, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatalf("ReadUvarint: %v", err)
+		}
+		if got != v {
+			t.Errorf("uvarint round trip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		var w Writer
+		w.WriteUvarint(v)
+		r := NewReader(w.Bytes(), w.Bits())
+		got, err := r.ReadUvarint()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(1 << 62),
+		new(big.Int).Lsh(big.NewInt(1), 200),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1)),
+	}
+	for _, v := range vals {
+		w.WriteBig(v)
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for _, v := range vals {
+		got, err := r.ReadBig()
+		if err != nil {
+			t.Fatalf("ReadBig: %v", err)
+		}
+		if got.Cmp(v) != 0 {
+			t.Errorf("big round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestBigNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteBig(-1) should panic")
+		}
+	}()
+	var w Writer
+	w.WriteBig(big.NewInt(-1))
+}
+
+func TestMixedFieldsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var w Writer
+		type field struct {
+			kind  int
+			u     uint64
+			width int
+			b     bool
+			big   *big.Int
+		}
+		var fields []field
+		nf := 1 + rng.Intn(20)
+		for i := 0; i < nf; i++ {
+			switch k := rng.Intn(4); k {
+			case 0:
+				width := 1 + rng.Intn(64)
+				v := rng.Uint64()
+				if width < 64 {
+					v &= (1 << uint(width)) - 1
+				}
+				fields = append(fields, field{kind: 0, u: v, width: width})
+				w.WriteUint(v, width)
+			case 1:
+				v := rng.Uint64() >> uint(rng.Intn(64))
+				fields = append(fields, field{kind: 1, u: v})
+				w.WriteUvarint(v)
+			case 2:
+				b := rng.Intn(2) == 0
+				fields = append(fields, field{kind: 2, b: b})
+				w.WriteBool(b)
+			case 3:
+				v := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 100))
+				fields = append(fields, field{kind: 3, big: v})
+				w.WriteBig(v)
+			}
+		}
+		r := NewReader(w.Bytes(), w.Bits())
+		for i, f := range fields {
+			switch f.kind {
+			case 0:
+				got, err := r.ReadUint(f.width)
+				if err != nil || got != f.u {
+					t.Fatalf("trial %d field %d uint: got %d err %v, want %d", trial, i, got, err, f.u)
+				}
+			case 1:
+				got, err := r.ReadUvarint()
+				if err != nil || got != f.u {
+					t.Fatalf("trial %d field %d uvarint: got %d err %v, want %d", trial, i, got, err, f.u)
+				}
+			case 2:
+				got, err := r.ReadBool()
+				if err != nil || got != f.b {
+					t.Fatalf("trial %d field %d bool: got %v err %v, want %v", trial, i, got, err, f.b)
+				}
+			case 3:
+				got, err := r.ReadBig()
+				if err != nil || got.Cmp(f.big) != 0 {
+					t.Fatalf("trial %d field %d big: got %v err %v, want %v", trial, i, got, err, f.big)
+				}
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("trial %d: %d bits left over", trial, r.Remaining())
+		}
+	}
+}
+
+func TestReaderShortReads(t *testing.T) {
+	var w Writer
+	w.WriteUint(3, 2)
+	r := NewReader(w.Bytes(), w.Bits())
+	if _, err := r.ReadUint(3); err != ErrShortRead {
+		t.Errorf("ReadUint beyond data: got %v, want ErrShortRead", err)
+	}
+	r2 := NewReader(nil, 0)
+	if _, err := r2.ReadUvarint(); err == nil {
+		t.Error("ReadUvarint on empty data should fail")
+	}
+	if _, err := r2.ReadBig(); err == nil {
+		t.Error("ReadBig on empty data should fail")
+	}
+}

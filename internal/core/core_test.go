@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModelAxes(t *testing.T) {
+	cases := []struct {
+		m          Model
+		sim, async bool
+	}{
+		{SimAsync, true, true},
+		{SimSync, true, false},
+		{Async, false, true},
+		{Sync, false, false},
+	}
+	for _, c := range cases {
+		if c.m.Simultaneous() != c.sim {
+			t.Errorf("%v.Simultaneous() = %v", c.m, c.m.Simultaneous())
+		}
+		if c.m.Asynchronous() != c.async {
+			t.Errorf("%v.Asynchronous() = %v", c.m, c.m.Asynchronous())
+		}
+	}
+}
+
+func TestModelLatticeIsPartialOrder(t *testing.T) {
+	// Reflexive.
+	for _, m := range AllModels {
+		if !m.AtLeast(m) {
+			t.Errorf("%v not ≥ itself", m)
+		}
+	}
+	// Antisymmetric.
+	for _, a := range AllModels {
+		for _, b := range AllModels {
+			if a != b && a.AtLeast(b) && b.AtLeast(a) {
+				t.Errorf("%v and %v mutually dominate", a, b)
+			}
+		}
+	}
+	// Transitive.
+	for _, a := range AllModels {
+		for _, b := range AllModels {
+			for _, c := range AllModels {
+				if a.AtLeast(b) && b.AtLeast(c) && !a.AtLeast(c) {
+					t.Errorf("transitivity fails: %v ≥ %v ≥ %v", a, b, c)
+				}
+			}
+		}
+	}
+	// Bottom and top.
+	for _, m := range AllModels {
+		if !m.AtLeast(SimAsync) {
+			t.Errorf("%v should dominate SIMASYNC", m)
+		}
+		if !Sync.AtLeast(m) {
+			t.Errorf("SYNC should dominate %v", m)
+		}
+	}
+	if s := Model(99).String(); s != "Model(99)" {
+		t.Errorf("unknown model renders %q", s)
+	}
+	if Model(99).AtLeast(Model(98)) {
+		t.Error("unknown models must not dominate")
+	}
+}
+
+func TestMessageStringAndKey(t *testing.T) {
+	m := Message{Data: []byte{0b10110000}, Bits: 4}
+	if m.String() != "1011" {
+		t.Errorf("String() = %q", m.String())
+	}
+	m2 := Message{Data: []byte{0b10110000}, Bits: 5}
+	if m.Key() == m2.Key() {
+		t.Error("different bit counts must have different keys")
+	}
+}
+
+func TestBoardOrderAndContentKeys(t *testing.T) {
+	a := Message{Data: []byte{0xF0}, Bits: 4}
+	b := Message{Data: []byte{0x00}, Bits: 4}
+	b1 := NewBoard()
+	b1.Append(a)
+	b1.Append(b)
+	b2 := NewBoard()
+	b2.Append(b)
+	b2.Append(a)
+	if b1.Key() == b2.Key() {
+		t.Error("Key must be order sensitive")
+	}
+	if b1.ContentKey() != b2.ContentKey() {
+		t.Error("ContentKey must be order insensitive")
+	}
+	if b1.TotalBits() != 8 || b1.Len() != 2 || b1.Empty() {
+		t.Error("board accounting wrong")
+	}
+	if b1.Last().Key() != b.Key() {
+		t.Error("Last wrong")
+	}
+	tr := b1.Truncate(1)
+	if tr.Len() != 1 || tr.At(0).Key() != a.Key() {
+		t.Error("Truncate wrong")
+	}
+	// Truncate shares the immutable prefix; appending to it must not
+	// corrupt the original.
+	tr.Append(b)
+	if b1.At(1).Key() != b.Key() || b1.Len() != 2 {
+		t.Error("Truncate append corrupted the source board")
+	}
+}
+
+func TestLastPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Last on empty board should panic")
+		}
+	}()
+	NewBoard().Last()
+}
+
+func TestNodeViewHasNeighborQuick(t *testing.T) {
+	f := func(raw []uint8, probe uint8) bool {
+		// Build a sorted unique neighbor list from raw.
+		seen := map[int]bool{}
+		var nbrs []int
+		for _, r := range raw {
+			id := int(r%64) + 1
+			if !seen[id] {
+				seen[id] = true
+				nbrs = append(nbrs, id)
+			}
+		}
+		sortInts(nbrs)
+		v := NodeView{ID: 65, Neighbors: nbrs, N: 66}
+		p := int(probe%66) + 1
+		return v.HasNeighbor(p) == seen[p]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Success.String() != "success" || Deadlock.String() != "deadlock" || Failed.String() != "failed" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status rendering wrong")
+	}
+}
+
+func TestResultWriterOrder(t *testing.T) {
+	r := Result{Writes: []WriteEvent{{Round: 1, Writer: 3}, {Round: 2, Writer: 1}}}
+	got := r.WriterOrder()
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("WriterOrder = %v", got)
+	}
+}

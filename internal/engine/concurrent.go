@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// RunConcurrent executes p on g with one goroutine per node, coordinated by
+// an arbiter goroutine that owns the whiteboard and embodies the adversary.
+//
+// Every round the arbiter broadcasts the board to the surviving node
+// goroutines, which evaluate their activation predicates (and, in
+// asynchronous models, freeze their message) in parallel; the arbiter then
+// lets the adversary pick a writer, obtains that node's message (composed
+// node-side, from the node's own view only), appends it, and releases the
+// writer. The schedule — and therefore the entire Result — is identical to
+// Run with the same adversary; only the evaluation is parallel. Memory
+// safety relies on channel happens-before: the board is only appended to
+// between broadcast rounds.
+func RunConcurrent(p core.Protocol, g *graph.Graph, adv adversary.Adversary, opts Options) *core.Result {
+	views := Views(g)
+	n := g.N()
+	model := p.Model()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 16
+	}
+	budget := p.MaxMessageBits(n)
+
+	type reply struct {
+		id     int
+		active bool
+		msg    core.Message
+		hasMsg bool
+	}
+	type command struct {
+		kind  int // 0 evaluate, 1 compose-and-write, 2 stop
+		board *core.Board
+	}
+
+	cmds := make([]chan command, n+1)
+	replies := make(chan reply, n)
+	var wg sync.WaitGroup
+	for v := 1; v <= n; v++ {
+		cmds[v] = make(chan command, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			st := awake
+			var pending core.Message
+			hasPending := false
+			for cmd := range cmds[v] {
+				switch cmd.kind {
+				case 0: // evaluate
+					if st == awake && p.Activate(views[v], cmd.board) {
+						st = active
+						if model.Asynchronous() {
+							pending = p.Compose(views[v], cmd.board)
+							hasPending = true
+						}
+					}
+					replies <- reply{id: v, active: st == active, msg: pending, hasMsg: hasPending}
+				case 1: // compose-and-write
+					var m core.Message
+					if model.Asynchronous() {
+						m = pending
+					} else {
+						m = p.Compose(views[v], cmd.board)
+					}
+					replies <- reply{id: v, msg: m, hasMsg: true}
+					return // node has written; goroutine terminates
+				case 2:
+					return
+				}
+			}
+		}(v)
+	}
+
+	board := core.NewBoard()
+	res := &core.Result{Board: board}
+	written := make([]bool, n+1)
+	activeSet := make([]bool, n+1)
+	alive := n
+
+	stopAll := func() {
+		for v := 1; v <= n; v++ {
+			if !written[v] {
+				cmds[v] <- command{kind: 2}
+			}
+		}
+		wg.Wait()
+	}
+	fail := func(err error) *core.Result {
+		stopAll()
+		res.Status = core.Failed
+		res.Err = err
+		return res
+	}
+
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return fail(fmt.Errorf("engine: exceeded %d rounds (concurrent)", maxRounds))
+		}
+		res.Rounds = round
+
+		// Broadcast evaluation to all surviving nodes.
+		for v := 1; v <= n; v++ {
+			if !written[v] {
+				cmds[v] <- command{kind: 0, board: board}
+			}
+		}
+		for i := 0; i < alive; i++ {
+			r := <-replies
+			activeSet[r.id] = r.active
+			if r.active && model.Asynchronous() && !opts.DisableBudget && r.msg.Bits > budget {
+				return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", r.id, r.msg.Bits, budget))
+			}
+			if !r.active && model.Simultaneous() && board.Empty() {
+				return fail(fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
+					model, p.Name(), r.id))
+			}
+		}
+
+		var candidates []int
+		for v := 1; v <= n; v++ {
+			if activeSet[v] && !written[v] {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			stopAll()
+			if alive == 0 {
+				out, err := p.Output(n, board)
+				if err != nil {
+					res.Status = core.Failed
+					res.Err = fmt.Errorf("engine: output: %w", err)
+					return res
+				}
+				res.Status = core.Success
+				res.Output = out
+				return res
+			}
+			res.Status = core.Deadlock
+			return res
+		}
+		chosen := adv.Choose(round, candidates, board)
+		if !contains(candidates, chosen) {
+			return fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
+		}
+		cmds[chosen] <- command{kind: 1, board: board}
+		r := <-replies
+		if !opts.DisableBudget && r.msg.Bits > budget {
+			return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, r.msg.Bits, budget))
+		}
+		board.Append(r.msg)
+		written[chosen] = true
+		activeSet[chosen] = false
+		alive--
+		res.Writes = append(res.Writes, core.WriteEvent{Round: round, Writer: chosen, Bits: r.msg.Bits})
+		if r.msg.Bits > res.MaxBits {
+			res.MaxBits = r.msg.Bits
+		}
+	}
+}

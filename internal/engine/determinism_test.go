@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Property: the engine is fully deterministic given (protocol, graph,
+// adversary seed) — identical boards, orders and outputs on replay.
+func TestQuickRunIsDeterministic(t *testing.T) {
+	f := func(graphSeed, advSeed int64) bool {
+		rng1 := rand.New(rand.NewSource(graphSeed))
+		rng2 := rand.New(rand.NewSource(graphSeed))
+		g1 := graph.RandomGNP(9, 0.3, rng1)
+		g2 := graph.RandomGNP(9, 0.3, rng2)
+		a := Run(idEcho{}, g1, adversary.NewRandom(advSeed), Options{})
+		b := Run(idEcho{}, g2, adversary.NewRandom(advSeed), Options{})
+		if a.Status != core.Success || b.Status != core.Success {
+			return false
+		}
+		if a.Board.Key() != b.Board.Key() {
+			return false
+		}
+		ao, bo := a.WriterOrder(), b.WriterOrder()
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every successful run writes exactly n messages — each node
+// communicates exactly once, the model's defining constraint.
+func TestQuickExactlyOneWritePerNode(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGNP(8, 0.4, rng)
+		res := Run(idEcho{}, g, adversary.NewRandom(seed), Options{})
+		if res.Status != core.Success {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, w := range res.Writes {
+			if seen[w.Writer] {
+				return false
+			}
+			seen[w.Writer] = true
+		}
+		return len(seen) == g.N() && res.Board.Len() == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

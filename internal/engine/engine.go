@@ -1,0 +1,301 @@
+// Package engine executes whiteboard protocols on graphs under the four
+// models of the paper.
+//
+// Three execution modes are provided:
+//
+//   - Run: deterministic sequential execution under a given adversary.
+//   - RunAll: exhaustive enumeration of every adversarial schedule (the
+//     paper's worst-case quantifier made literal), for small inputs.
+//   - RunConcurrent: one goroutine per node with the whiteboard behind a
+//     round arbiter — the natural Go rendering of the distributed system.
+//     Given the same adversary it produces exactly the same execution as
+//     Run; activation and message composition evaluate in parallel.
+//
+// Round semantics (see DESIGN.md §1 for the rationale): in each round every
+// awake node evaluates its activation predicate against the current board;
+// newly active nodes in asynchronous models freeze their message
+// immediately; then the adversary appends the pending message of any active
+// unwritten node — including one that activated this round — and that node
+// is marked written (it formally terminates next round, which no one can
+// observe). A run succeeds when all n messages are on the board and
+// deadlocks when unwritten nodes remain but no candidate exists.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Model overrides the protocol's declared model; zero value (nil) uses
+	// p.Model(). Running a protocol under a *weaker* model than it was
+	// designed for (e.g. SYNC-BFS under ASYNC freezing) is allowed — that is
+	// how the paper's separations are demonstrated.
+	Model *core.Model
+	// MaxRounds bounds the execution; 0 means 4n+16 (every run that makes
+	// progress writes once per round, so this is generous).
+	MaxRounds int
+	// DisableBudget skips the MaxMessageBits enforcement (used by
+	// diagnostics that intentionally overrun).
+	DisableBudget bool
+}
+
+// ModelPtr is a convenience for Options.Model.
+func ModelPtr(m core.Model) *core.Model { return &m }
+
+// Views precomputes the NodeViews of a graph.
+func Views(g *graph.Graph) []core.NodeView {
+	n := g.N()
+	vs := make([]core.NodeView, n+1)
+	for v := 1; v <= n; v++ {
+		vs[v] = core.NodeView{ID: v, Neighbors: g.Neighbors(v), N: n}
+	}
+	return vs
+}
+
+// Run executes p on g under adv.
+func Run(p core.Protocol, g *graph.Graph, adv adversary.Adversary, opts Options) *core.Result {
+	return run(p, Views(g), adv, opts)
+}
+
+func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts Options) *core.Result {
+	n := len(views) - 1
+	model := p.Model()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 16
+	}
+	budget := p.MaxMessageBits(n)
+
+	st := newState(n)
+	board := core.NewBoard()
+	res := &core.Result{Board: board}
+
+	fail := func(err error) *core.Result {
+		res.Status = core.Failed
+		res.Err = err
+		return res
+	}
+
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return fail(fmt.Errorf("engine: exceeded %d rounds (protocol or adversary livelock)", maxRounds))
+		}
+		res.Rounds = round
+
+		// Activation phase.
+		for v := 1; v <= n; v++ {
+			if st.state[v] != awake {
+				continue
+			}
+			if p.Activate(views[v], board) {
+				st.state[v] = active
+				if model.Asynchronous() {
+					m := p.Compose(views[v], board)
+					if !opts.DisableBudget && m.Bits > budget {
+						return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", v, m.Bits, budget))
+					}
+					st.pending[v] = m
+				}
+			} else if model.Simultaneous() && board.Empty() {
+				return fail(fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
+					model, p.Name(), v))
+			}
+		}
+
+		// Write phase.
+		candidates := st.candidates()
+		if len(candidates) == 0 {
+			if st.written == n {
+				out, err := p.Output(n, board)
+				if err != nil {
+					return fail(fmt.Errorf("engine: output: %w", err))
+				}
+				res.Status = core.Success
+				res.Output = out
+				return res
+			}
+			res.Status = core.Deadlock
+			return res
+		}
+		chosen := adv.Choose(round, candidates, board)
+		if !contains(candidates, chosen) {
+			return fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
+		}
+		var m core.Message
+		if model.Asynchronous() {
+			m = st.pending[chosen]
+		} else {
+			m = p.Compose(views[chosen], board)
+			if !opts.DisableBudget && m.Bits > budget {
+				return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, m.Bits, budget))
+			}
+		}
+		board.Append(m)
+		st.markWritten(chosen)
+		res.Writes = append(res.Writes, core.WriteEvent{Round: round, Writer: chosen, Bits: m.Bits})
+		if m.Bits > res.MaxBits {
+			res.MaxBits = m.Bits
+		}
+	}
+}
+
+type nodeState uint8
+
+const (
+	awake nodeState = iota
+	active
+	done // message written ("terminated" next round; unobservable)
+)
+
+type state struct {
+	state   []nodeState
+	pending []core.Message
+	written int
+}
+
+func newState(n int) *state {
+	return &state{state: make([]nodeState, n+1), pending: make([]core.Message, n+1)}
+}
+
+// candidates lists active unwritten nodes ascending.
+func (s *state) candidates() []int {
+	var c []int
+	for v := 1; v < len(s.state); v++ {
+		if s.state[v] == active {
+			c = append(c, v)
+		}
+	}
+	return c
+}
+
+func (s *state) markWritten(v int) {
+	s.state[v] = done
+	s.written++
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrBudget is returned by RunAll when the exploration budget is exhausted.
+var ErrBudget = errors.New("engine: exhaustive exploration budget exhausted")
+
+// AllStats summarizes an exhaustive exploration.
+type AllStats struct {
+	Schedules int // terminal schedules reached
+	Steps     int // total writes simulated
+}
+
+// RunAll explores every adversarial schedule of p on g under the (possibly
+// overridden) model and calls check on each terminal Result. It stops at the
+// first check error (returning it) or when maxSteps simulated writes are
+// exceeded (returning ErrBudget). check receives the write order alongside
+// the result.
+func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
+	check func(res *core.Result, order []int) error) (AllStats, error) {
+
+	views := Views(g)
+	n := g.N()
+	model := p.Model()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	budget := p.MaxMessageBits(n)
+	stats := AllStats{}
+
+	type frame struct {
+		st    *state
+		board *core.Board
+		order []int
+	}
+
+	var explore func(f frame, round int) error
+	explore = func(f frame, round int) error {
+		if round > 4*n+16 {
+			return fmt.Errorf("engine: RunAll livelock after %d rounds (order %v)", round, f.order)
+		}
+		// Activation phase (deterministic; mutate in place).
+		for v := 1; v <= n; v++ {
+			if f.st.state[v] != awake {
+				continue
+			}
+			if p.Activate(views[v], f.board) {
+				f.st.state[v] = active
+				if model.Asynchronous() {
+					m := p.Compose(views[v], f.board)
+					if !opts.DisableBudget && m.Bits > budget {
+						return fmt.Errorf("engine: node %d message %d bits exceeds budget %d", v, m.Bits, budget)
+					}
+					f.st.pending[v] = m
+				}
+			} else if model.Simultaneous() && f.board.Empty() {
+				return fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
+					model, p.Name(), v)
+			}
+		}
+		candidates := f.st.candidates()
+		if len(candidates) == 0 {
+			res := &core.Result{Board: f.board, Rounds: round}
+			if f.st.written == n {
+				out, err := p.Output(n, f.board)
+				if err != nil {
+					res.Status = core.Failed
+					res.Err = fmt.Errorf("engine: output: %w", err)
+				} else {
+					res.Status = core.Success
+					res.Output = out
+				}
+			} else {
+				res.Status = core.Deadlock
+			}
+			stats.Schedules++
+			return check(res, f.order)
+		}
+		for _, chosen := range candidates {
+			stats.Steps++
+			if stats.Steps > maxSteps {
+				return ErrBudget
+			}
+			var m core.Message
+			if model.Asynchronous() {
+				m = f.st.pending[chosen]
+			} else {
+				m = p.Compose(views[chosen], f.board)
+				if !opts.DisableBudget && m.Bits > budget {
+					return fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, m.Bits, budget)
+				}
+			}
+			// Branch: copy state.
+			st2 := &state{
+				state:   append([]nodeState(nil), f.st.state...),
+				pending: append([]core.Message(nil), f.st.pending...),
+				written: f.st.written,
+			}
+			board2 := f.board.Clone()
+			board2.Append(m)
+			st2.markWritten(chosen)
+			order2 := append(append([]int(nil), f.order...), chosen)
+			if err := explore(frame{st: st2, board: board2, order: order2}, round+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err := explore(frame{st: newState(n), board: core.NewBoard()}, 1)
+	return stats, err
+}

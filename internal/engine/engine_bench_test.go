@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BenchmarkRun measures raw engine overhead with a near-free protocol.
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		g := graph.Path(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := Run(idEcho{}, g, adversary.Rotor{}, Options{}); res.Status != core.Success {
+					b.Fatal(res.Err)
+				}
+			}
+			b.ReportMetric(float64(n), "writes")
+		})
+	}
+}
+
+// BenchmarkRunConcurrent measures the goroutine-per-node engine on the
+// same workload (channel round-trips dominate).
+func BenchmarkRunConcurrent(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		g := graph.Path(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := RunConcurrent(idEcho{}, g, adversary.Rotor{}, Options{}); res.Status != core.Success {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunAll measures exhaustive schedule enumeration growth: a
+// SIMASYNC protocol on n nodes has n! schedules.
+func BenchmarkRunAll(b *testing.B) {
+	for _, n := range []int{4, 5, 6, 7} {
+		g := graph.Path(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var schedules int
+			for i := 0; i < b.N; i++ {
+				stats, err := RunAll(idEcho{}, g, Options{}, 1<<26,
+					func(*core.Result, []int) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				schedules = stats.Schedules
+			}
+			b.ReportMetric(float64(schedules), "schedules")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Spectrum summarizes what a protocol can be forced to produce across all
+// adversarial schedules of one input.
+type Spectrum struct {
+	Schedules int
+	// Outputs maps a rendered output value to the number of schedules
+	// producing it (only successful runs contribute).
+	Outputs map[string]int
+	// Deadlocks counts schedules that ended in a corrupted configuration.
+	Deadlocks int
+	// Failures counts schedules that violated a model constraint.
+	Failures int
+}
+
+// DistinctOutputs returns the rendered outputs sorted lexicographically.
+func (s *Spectrum) DistinctOutputs() []string {
+	out := make([]string, 0, len(s.Outputs))
+	for k := range s.Outputs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutputSpectrum runs every adversarial schedule of p on g (within
+// maxSteps simulated writes) and tallies the outcomes. It answers, for
+// small inputs, the question behind the model's ∀-adversary quantifier:
+// which answers can the adversary force, and can it force a deadlock?
+func OutputSpectrum(p core.Protocol, g *graph.Graph, opts Options, maxSteps int) (*Spectrum, error) {
+	s := &Spectrum{Outputs: map[string]int{}}
+	stats, err := RunAll(p, g, opts, maxSteps, func(res *core.Result, _ []int) error {
+		switch res.Status {
+		case core.Success:
+			s.Outputs[fmt.Sprintf("%v", res.Output)]++
+		case core.Deadlock:
+			s.Deadlocks++
+		default:
+			s.Failures++
+		}
+		return nil
+	})
+	s.Schedules = stats.Schedules
+	return s, err
+}

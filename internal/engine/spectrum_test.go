@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestOutputSpectrumSimAsyncIsSingleton(t *testing.T) {
+	// A SIMASYNC protocol with an order-insensitive output has a singleton
+	// spectrum: the adversary can force nothing.
+	s, err := OutputSpectrum(idEcho{}, graph.Path(4), Options{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schedules != 24 || s.Deadlocks != 0 || s.Failures != 0 {
+		t.Fatalf("spectrum: %+v", s)
+	}
+	if len(s.Outputs) != 1 {
+		t.Errorf("distinct outputs: %v", s.DistinctOutputs())
+	}
+	for _, count := range s.Outputs {
+		if count != 24 {
+			t.Errorf("output count %d, want 24", count)
+		}
+	}
+}
+
+func TestOutputSpectrumScheduleSensitiveProtocol(t *testing.T) {
+	// lastWriterSees distinguishes nothing across orders (output is always
+	// n−1 ones), but a protocol whose output depends on who wrote first
+	// does. Build one inline: output = first writer's bit pattern length.
+	s, err := OutputSpectrum(lastWriterSees{}, graph.Path(3), Options{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outputs) != 1 {
+		t.Errorf("sees-board outputs: %v", s.DistinctOutputs())
+	}
+}
+
+func TestOutputSpectrumCountsDeadlocks(t *testing.T) {
+	s, err := OutputSpectrum(chainProto{stallAt: 2}, graph.Path(3), Options{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Deadlocks == 0 || len(s.Outputs) != 0 {
+		t.Fatalf("expected pure-deadlock spectrum, got %+v", s)
+	}
+}
+
+func TestOutputSpectrumDistinctSorted(t *testing.T) {
+	s := &Spectrum{Outputs: map[string]int{"b": 1, "a": 2, "c": 3}}
+	got := s.DistinctOutputs()
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("DistinctOutputs = %v", got)
+	}
+}
+
+func TestOutputSpectrumPropagatesBudgetError(t *testing.T) {
+	if _, err := OutputSpectrum(idEcho{}, graph.Path(6), Options{}, 5); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+// The MIS spectrum on a path shows genuine adversary power: multiple valid
+// maximal sets, all containing the root, none invalid.
+func TestOutputSpectrumMISAdversaryPower(t *testing.T) {
+	p := misLike{}
+	s, err := OutputSpectrum(p, graph.Path(4), Options{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outputs) < 2 {
+		t.Errorf("expected adversary-dependent MIS sets, got %v", s.DistinctOutputs())
+	}
+	if s.Deadlocks+s.Failures > 0 {
+		t.Errorf("spectrum has %d deadlocks, %d failures", s.Deadlocks, s.Failures)
+	}
+}
+
+// misLike is a tiny greedy-membership protocol (first-written nodes claim
+// membership if no neighbor has) used to exercise the spectrum.
+type misLike struct{ idEcho }
+
+func (misLike) Name() string             { return "mis-like" }
+func (misLike) Model() core.Model        { return core.SimSync }
+func (misLike) MaxMessageBits(n int) int { return 64 }
+func (misLike) Compose(v core.NodeView, b *core.Board) core.Message {
+	in := byte(1)
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		if len(m.Data) >= 2 && m.Data[1] == 1 && v.HasNeighbor(int(m.Data[0])) {
+			in = 0
+		}
+	}
+	return core.Message{Data: []byte{byte(v.ID), in}, Bits: 16}
+}
+func (misLike) Output(n int, b *core.Board) (any, error) {
+	var set []int
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		if len(m.Data) >= 2 && m.Data[1] == 1 {
+			set = append(set, int(m.Data[0]))
+		}
+	}
+	sortInts(set)
+	return set, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSForestPath(t *testing.T) {
+	g := Path(5)
+	r := BFSForest(g)
+	if len(r.Roots) != 1 || r.Roots[0] != 1 {
+		t.Fatalf("roots = %v", r.Roots)
+	}
+	wantLayer := []int{0, 0, 1, 2, 3, 4}
+	wantParent := []int{0, 0, 1, 2, 3, 4}
+	for v := 1; v <= 5; v++ {
+		if r.Layer[v] != wantLayer[v] || r.Parent[v] != wantParent[v] {
+			t.Errorf("node %d: layer=%d parent=%d", v, r.Layer[v], r.Parent[v])
+		}
+	}
+}
+
+func TestBFSForestMultiComponent(t *testing.T) {
+	g := FromEdges(7, [][2]int{{2, 4}, {4, 6}, {3, 5}})
+	r := BFSForest(g)
+	wantRoots := []int{1, 2, 3, 7}
+	if len(r.Roots) != 4 {
+		t.Fatalf("roots = %v", r.Roots)
+	}
+	for i, w := range wantRoots {
+		if r.Roots[i] != w {
+			t.Errorf("root %d = %d, want %d", i, r.Roots[i], w)
+		}
+	}
+	if r.Layer[6] != 2 || r.Parent[6] != 4 {
+		t.Errorf("node 6: layer=%d parent=%d", r.Layer[6], r.Parent[6])
+	}
+}
+
+func TestBFSParentIsMinIDPrevLayer(t *testing.T) {
+	// Node 4 adjacent to both 2 and 3 in layer 1; parent must be 2.
+	g := FromEdges(4, [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	r := BFSForest(g)
+	if r.Parent[4] != 2 {
+		t.Errorf("parent of 4 = %d, want 2", r.Parent[4])
+	}
+}
+
+func TestBFSLayersEqualDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomGNP(20, 0.15, rng)
+		r := BFSForest(g)
+		for _, root := range r.Roots {
+			dist := Distances(g, root)
+			for v := 1; v <= g.N(); v++ {
+				if dist[v] >= 0 && r.Layer[v] != dist[v] {
+					// v may belong to a different component
+					sameComp := false
+					for u := root; ; {
+						_ = u
+						break
+					}
+					_ = sameComp
+					if containsRootOf(g, r, v) == root {
+						t.Fatalf("layer[%d]=%d, dist=%d", v, r.Layer[v], dist[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// containsRootOf returns the canonical root of v's component.
+func containsRootOf(g *Graph, r *BFSResult, v int) int {
+	u := v
+	for r.Parent[u] != 0 {
+		u = r.Parent[u]
+	}
+	return u
+}
+
+func TestValidateBFSForest(t *testing.T) {
+	g := Path(4)
+	r := BFSForest(g)
+	if msg := ValidateBFSForest(g, r.Parent, r.Layer); msg != "" {
+		t.Errorf("canonical forest rejected: %s", msg)
+	}
+	bad := append([]int(nil), r.Parent...)
+	bad[3] = 1
+	if msg := ValidateBFSForest(g, bad, r.Layer); msg == "" {
+		t.Error("corrupted parent accepted")
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := FromEdges(6, [][2]int{{1, 2}, {3, 4}, {4, 5}})
+	comps := Components(g)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if IsConnected(g) {
+		t.Error("disconnected graph reported connected")
+	}
+	if !IsConnected(Path(5)) || !IsConnected(New(1)) || !IsConnected(New(0)) {
+		t.Error("connectivity misreported")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	if !IsBipartite(Cycle(6)) {
+		t.Error("C6 is bipartite")
+	}
+	if IsBipartite(Cycle(5)) {
+		t.Error("C5 is not bipartite")
+	}
+	side, ok := BipartiteParts(Path(4))
+	if !ok || side[1] != 0 || side[2] != 1 || side[3] != 0 {
+		t.Errorf("BipartiteParts(P4) = %v %v", side, ok)
+	}
+}
+
+func TestEvenOddBipartite(t *testing.T) {
+	eob := FromEdges(4, [][2]int{{1, 2}, {2, 3}, {3, 4}})
+	if !IsEvenOddBipartite(eob) {
+		t.Error("path with alternating parity is EOB")
+	}
+	notEOB := FromEdges(4, [][2]int{{1, 3}})
+	if IsEvenOddBipartite(notEOB) {
+		t.Error("odd-odd edge accepted as EOB")
+	}
+	// Bipartite but not EOB: edge 1-3 with proper 2-coloring.
+	if !IsBipartite(notEOB) {
+		t.Error("single edge is bipartite")
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{New(1), 0},
+		{Path(6), 1},
+		{RandomTree(20, rand.New(rand.NewSource(3))), 1},
+		{Cycle(7), 2},
+		{Grid(4, 5), 2},
+		{Complete(5), 4},
+		{CompleteBipartite(3, 7), 3},
+	}
+	for i, c := range cases {
+		if d := Degeneracy(c.g); d != c.want {
+			t.Errorf("case %d: degeneracy = %d, want %d", i, d, c.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomGNP(15, 0.3, rng)
+		order, k := DegeneracyOrder(g)
+		if len(order) != g.N() {
+			t.Fatalf("order has %d entries", len(order))
+		}
+		// Replay the elimination: each node's degree among the remaining
+		// nodes must be ≤ k.
+		remaining := g.Clone()
+		pos := make(map[int]bool)
+		for _, v := range order {
+			if pos[v] {
+				t.Fatal("duplicate in order")
+			}
+			pos[v] = true
+			if remaining.Degree(v) > k {
+				t.Fatalf("node %d has degree %d > degeneracy %d at elimination",
+					v, remaining.Degree(v), k)
+			}
+			for _, u := range append([]int(nil), remaining.Neighbors(v)...) {
+				remaining.RemoveEdge(v, u)
+			}
+		}
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	if HasTriangle(Cycle(5)) {
+		t.Error("C5 has no triangle")
+	}
+	if !HasTriangle(Complete(3)) {
+		t.Error("K3 has a triangle")
+	}
+	u, v, w, ok := FindTriangle(FromEdges(5, [][2]int{{1, 4}, {4, 5}, {1, 5}, {2, 3}}))
+	if !ok || u != 1 || v != 4 || w != 5 {
+		t.Errorf("FindTriangle = %d %d %d %v", u, v, w, ok)
+	}
+	if HasTriangle(CompleteBipartite(3, 3)) {
+		t.Error("bipartite graph has no triangle")
+	}
+}
+
+func TestMISValidation(t *testing.T) {
+	g := Cycle(6)
+	if !IsMaximalIndependentSet(g, []int{1, 3, 5}) {
+		t.Error("{1,3,5} is a MIS of C6")
+	}
+	if IsMaximalIndependentSet(g, []int{1, 3}) {
+		t.Error("{1,3} is not maximal in C6 (node 5 undominated)")
+	}
+	if !IsMaximalIndependentSet(g, []int{1, 4}) {
+		t.Error("{1,4} is a (small) MIS of C6")
+	}
+	if IsMaximalIndependentSet(g, []int{1, 2}) {
+		t.Error("{1,2} is not independent in C6")
+	}
+	if !IsMaximalIndependentSet(Complete(4), []int{3}) {
+		t.Error("single node is a MIS of K4")
+	}
+}
+
+func TestEnumerationCounts(t *testing.T) {
+	count := 0
+	AllGraphs(4, func(*Graph) bool { count++; return true })
+	if count != 64 {
+		t.Errorf("AllGraphs(4) visited %d, want 64", count)
+	}
+
+	forests := 0
+	AllForests(4, func(*Graph) bool { forests++; return true })
+	// Labeled forests on 4 nodes: 38 (OEIS A001858).
+	if forests != 38 {
+		t.Errorf("AllForests(4) visited %d, want 38", forests)
+	}
+
+	eob := 0
+	AllEOBGraphs(4, func(g *Graph) bool {
+		if !IsEvenOddBipartite(g) {
+			t.Fatal("non-EOB graph enumerated")
+		}
+		eob++
+		return true
+	})
+	if eob != 16 { // 4 odd-even pairs on {1..4}: {1,2},{1,4},{2,3},{3,4}
+		t.Errorf("AllEOBGraphs(4) visited %d, want 16", eob)
+	}
+}
+
+func TestEnumerationEarlyStop(t *testing.T) {
+	count := 0
+	AllGraphs(5, func(*Graph) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestAllGraphsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	AllGraphs(5, func(g *Graph) bool {
+		k := g.Key()
+		if seen[k] {
+			t.Fatalf("duplicate graph %v", g)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 1024 {
+		t.Errorf("enumerated %d graphs on 5 nodes, want 1024", len(seen))
+	}
+}
+
+func TestDegeneracyEnumerationMatchesDefinition(t *testing.T) {
+	// Cross-check bucket-queue degeneracy against brute force on all graphs
+	// with 5 nodes.
+	AllGraphs(5, func(g *Graph) bool {
+		want := bruteDegeneracy(g)
+		if got := Degeneracy(g); got != want {
+			t.Fatalf("graph %v: degeneracy %d, want %d", g, got, want)
+			return false
+		}
+		return true
+	})
+}
+
+// bruteDegeneracy: max over the greedy elimination of min-degree nodes
+// (equivalent definition).
+func bruteDegeneracy(g *Graph) int {
+	h := g.Clone()
+	alive := map[int]bool{}
+	for v := 1; v <= h.N(); v++ {
+		alive[v] = true
+	}
+	k := 0
+	for len(alive) > 0 {
+		best, bestDeg := 0, 1<<30
+		for v := range alive {
+			d := 0
+			for _, u := range h.Neighbors(v) {
+				if alive[u] {
+					d++
+				}
+			}
+			if d < bestDeg || (d == bestDeg && v < best) {
+				best, bestDeg = v, d
+			}
+		}
+		if bestDeg > k {
+			k = bestDeg
+		}
+		delete(alive, best)
+	}
+	return k
+}

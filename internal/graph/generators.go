@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path 1-2-...-n.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle 1-2-...-n-1 (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n ≥ 3, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n, 1)
+	return g
+}
+
+// Star returns the star with center 1 and leaves 2..n.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 2; v <= n; v++ {
+		g.AddEdge(1, v)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {1..a} and {a+1..a+b}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 1; u <= a; u++ {
+		for v := a + 1; v <= a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the r×c grid graph with node (i,j) numbered i*c+j+1 for
+// 0 ≤ i < r, 0 ≤ j < c. Grids are planar and have degeneracy ≤ 2.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	id := func(i, j int) int { return i*c + j + 1 }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+// TwoCliques returns the disjoint union of two complete graphs on n nodes
+// each: the (n−1)-regular 2n-node instance of the 2-CLIQUES problem. The
+// membership of the cliques is determined by perm, a permutation of 1..2n
+// whose first n entries form one clique (pass nil for the identity split).
+func TwoCliques(n int, perm []int) *Graph {
+	if perm == nil {
+		perm = make([]int, 2*n)
+		for i := range perm {
+			perm[i] = i + 1
+		}
+	}
+	if len(perm) != 2*n {
+		panic("graph: TwoCliques permutation must have length 2n")
+	}
+	g := New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(perm[i], perm[j])
+			g.AddEdge(perm[n+i], perm[n+j])
+		}
+	}
+	return g
+}
+
+// TwoCliquesSwapped returns a connected (n−1)-regular 2n-node graph that is
+// NOT two disjoint cliques: it takes TwoCliques and rewires one edge from
+// each clique into a matching across the cut. Degrees are preserved, so the
+// instance satisfies the 2-CLIQUES promise while being a "no" instance.
+func TwoCliquesSwapped(n int, perm []int) *Graph {
+	if n < 3 {
+		panic("graph: TwoCliquesSwapped needs n ≥ 3")
+	}
+	g := TwoCliques(n, perm)
+	if perm == nil {
+		perm = make([]int, 2*n)
+		for i := range perm {
+			perm[i] = i + 1
+		}
+	}
+	a1, a2 := perm[0], perm[1]
+	b1, b2 := perm[n], perm[n+1]
+	g.RemoveEdge(a1, a2)
+	g.RemoveEdge(b1, b2)
+	g.AddEdge(a1, b1)
+	g.AddEdge(a2, b2)
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes via a random
+// Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n <= 0 {
+		return New(n)
+	}
+	if n == 1 {
+		return New(1)
+	}
+	if n == 2 {
+		g := New(2)
+		g.AddEdge(1, 2)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = 1 + rng.Intn(n)
+	}
+	return treeFromPruefer(n, seq)
+}
+
+// treeFromPruefer decodes a Prüfer sequence over {1..n} into a labeled tree.
+func treeFromPruefer(n int, seq []int) *Graph {
+	g := New(n)
+	degree := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		degree[v] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	// Repeatedly join the smallest leaf to the next sequence element.
+	// ptr/leaf scan gives O(n) amortized.
+	ptr := 1
+	leaf := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf = ptr
+	for _, v := range seq {
+		g.AddEdge(leaf, v)
+		degree[leaf]--
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Two leaves remain; one is `leaf`, the other is node n or later scan.
+	last := 0
+	for v := 1; v <= n; v++ {
+		if degree[v] == 1 && v != leaf {
+			last = v
+		}
+	}
+	g.AddEdge(leaf, last)
+	return g
+}
+
+// RandomForest returns a random labeled forest: a random tree with each edge
+// kept independently with probability keep. keep=1 yields a tree.
+func RandomForest(n int, keep float64, rng *rand.Rand) *Graph {
+	t := RandomTree(n, rng)
+	g := New(n)
+	for _, e := range t.Edges() {
+		if rng.Float64() < keep {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+// RandomGNP returns an Erdős–Rényi G(n,p) graph.
+func RandomGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomKDegenerate returns a graph of degeneracy at most k, built by the
+// standard construction: insert nodes in a random order, attaching each new
+// node to at most k uniformly chosen previous nodes. The elimination order is
+// hidden by the labeling (a random permutation), so protocols cannot exploit
+// construction order.
+func RandomKDegenerate(n, k int, rng *rand.Rand) *Graph {
+	perm := rng.Perm(n) // perm[i] + 1 is the label of the i-th inserted node
+	g := New(n)
+	for i := 1; i < n; i++ {
+		d := rng.Intn(k + 1) // 0..k back-edges
+		if d > i {
+			d = i
+		}
+		chosen := rng.Perm(i)[:d]
+		for _, j := range chosen {
+			g.AddEdge(perm[i]+1, perm[j]+1)
+		}
+	}
+	return g
+}
+
+// RandomBipartite returns a bipartite graph: nodes are split into two parts
+// by a random balanced partition, and each cross edge appears with
+// probability p. The partition is NOT aligned with identifier parity.
+func RandomBipartite(n int, p float64, rng *rand.Rand) *Graph {
+	side := make([]int, n+1)
+	perm := rng.Perm(n)
+	for i, v := range perm {
+		if i < n/2 {
+			side[v+1] = 0
+		} else {
+			side[v+1] = 1
+		}
+	}
+	g := New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if side[u] != side[v] && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomEOB returns a random even-odd-bipartite graph: each edge between an
+// odd and an even identifier appears independently with probability p.
+func RandomEOB(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if (u+v)%2 == 1 && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Complement returns the graph with exactly the non-edges of g.
+func Complement(g *Graph) *Graph {
+	c := New(g.N())
+	for u := 1; u <= g.N(); u++ {
+		for v := u + 1; v <= g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// RandomSplitDegenerate returns a graph admitting an elimination order in
+// which every node has degree ≤ k or ≥ |R|−k−1 among the remaining nodes R
+// — the two-sided class the paper sketches after Theorem 2. Construction:
+// insert nodes one by one, attaching each to at most k or to all but at
+// most k of the previously inserted nodes; labels are shuffled afterwards.
+func RandomSplitDegenerate(n, k int, rng *rand.Rand) *Graph {
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 1; i < n; i++ {
+		var d int
+		if rng.Intn(2) == 0 {
+			d = rng.Intn(min(k, i) + 1) // sparse side: 0..k
+		} else {
+			lo := i - k // dense side: i-k..i back-edges
+			if lo < 0 {
+				lo = 0
+			}
+			d = lo + rng.Intn(i-lo+1)
+		}
+		for _, j := range rng.Perm(i)[:d] {
+			g.AddEdge(perm[i]+1, perm[j]+1)
+		}
+	}
+	return g
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RandomConnectedGNP returns a connected G(n,p)-like graph: a random tree
+// union G(n,p) extra edges, guaranteeing connectivity.
+func RandomConnectedGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,245 @@
+// Package graph provides the labeled-graph substrate used throughout the
+// whiteboard-model reproduction.
+//
+// Following the paper, a graph has n nodes with unique identifiers 1..n; a
+// node knows its own identifier, the identifiers of its neighbors, and n.
+// Graphs are simple and undirected. The package also supplies the reference
+// (centralized) algorithms that protocol outputs are validated against:
+// BFS forests rooted at per-component minimum identifiers, degeneracy
+// orderings, bipartiteness tests, triangle search, maximal-independent-set
+// validation, and exhaustive enumeration of small labeled graph families.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a simple undirected graph on nodes 1..n.
+//
+// Neighbor lists are kept sorted by identifier. A bitset mirror of the
+// adjacency provides O(1) edge queries without hashing.
+type Graph struct {
+	n    int
+	adj  [][]int // adj[v] sorted, 1-based; adj[0] unused
+	bits [][]uint64
+	m    int // edge count
+}
+
+// New returns an empty graph on n nodes (n ≥ 0).
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	words := (n + 64) / 64 // bit v stored at row[v/64], v in 1..n
+	g := &Graph{
+		n:    n,
+		adj:  make([][]int, n+1),
+		bits: make([][]uint64, n+1),
+	}
+	for v := 1; v <= n; v++ {
+		g.bits[v] = make([]uint64, words)
+	}
+	return g
+}
+
+// FromEdges builds a graph on n nodes from an edge list. Duplicate edges are
+// ignored; invalid endpoints or self-loops panic (construction-time bugs).
+func FromEdges(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		if !g.HasEdge(e[0], e[1]) {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+func (g *Graph) check(v int) {
+	if v < 1 || v > g.n {
+		panic(fmt.Sprintf("graph: node %d out of range 1..%d", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge {u,v}. It panics on self-loops,
+// out-of-range endpoints, or duplicate edges.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.bits[u][v/64] |= 1 << uint(v%64)
+	g.bits[v][u/64] |= 1 << uint(u%64)
+	g.m++
+}
+
+// RemoveEdge deletes the undirected edge {u,v}; it panics if absent.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if !g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: removing absent edge {%d,%d}", u, v))
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.bits[u][v/64] &^= 1 << uint(v%64)
+	g.bits[v][u/64] &^= 1 << uint(u%64)
+	g.m--
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	return append(s[:i], s[i+1:]...)
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.bits[u][v/64]&(1<<uint(v%64)) != 0
+}
+
+// Neighbors returns the sorted neighbor identifiers of v. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Edges returns all edges as (u,v) pairs with u < v, sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, g.m)
+	for u := 1; u <= g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 1; u <= g.n; u++ {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+		copy(c.bits[u], g.bits[u])
+	}
+	c.m = g.m
+	return c
+}
+
+// Equal reports whether g and h have identical node sets and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for v := 1; v <= g.n; v++ {
+		a, b := g.adj[v], h.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for the labeled graph (an
+// upper-triangular edge bitmap), suitable for use as a map key when
+// searching for whiteboard collisions across a graph family.
+func (g *Graph) Key() string {
+	nbits := g.n * (g.n - 1) / 2
+	buf := make([]byte, (nbits+7)/8)
+	idx := 0
+	for u := 1; u <= g.n; u++ {
+		for v := u + 1; v <= g.n; v++ {
+			if g.HasEdge(u, v) {
+				buf[idx/8] |= 1 << uint(idx%8)
+			}
+			idx++
+		}
+	}
+	return string(buf)
+}
+
+// String renders the graph compactly, e.g. "G(n=4, m=3: 1-2 2-3 3-4)".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "G(n=%d, m=%d:", g.n, g.m)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, " %d-%d", e[0], e[1])
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// AdjacencyMatrix returns the n×n boolean adjacency matrix with rows and
+// columns indexed 1..n (row/column 0 unused).
+func (g *Graph) AdjacencyMatrix() [][]bool {
+	m := make([][]bool, g.n+1)
+	for u := 1; u <= g.n; u++ {
+		m[u] = make([]bool, g.n+1)
+		for _, v := range g.adj[u] {
+			m[u][v] = true
+		}
+	}
+	return m
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a set of node IDs),
+// *relabeled* onto 1..len(keep) in increasing original-ID order, together
+// with the mapping newID -> oldID.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	ids := append([]int(nil), keep...)
+	sort.Ints(ids)
+	oldToNew := make(map[int]int, len(ids))
+	for i, id := range ids {
+		g.check(id)
+		oldToNew[id] = i + 1
+	}
+	sub := New(len(ids))
+	for _, u := range ids {
+		for _, v := range g.adj[u] {
+			if nv, ok := oldToNew[v]; ok && u < v {
+				sub.AddEdge(oldToNew[u], nv)
+			}
+		}
+	}
+	mapping := make([]int, len(ids)+1)
+	for i, id := range ids {
+		mapping[i+1] = id
+	}
+	return sub, mapping
+}

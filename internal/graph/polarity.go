@@ -1,0 +1,82 @@
+package graph
+
+import "fmt"
+
+// FindSquare returns a 4-cycle (a,b,c,d) — edges a-b, b-c, c-d, d-a — if
+// one exists.
+func FindSquare(g *Graph) (a, b, c, d int, ok bool) {
+	// A C4 exists iff some pair of nodes has two common neighbors.
+	for u := 1; u <= g.N(); u++ {
+		for v := u + 1; v <= g.N(); v++ {
+			first := 0
+			for _, w := range g.Neighbors(u) {
+				if w == v || !g.HasEdge(w, v) {
+					continue
+				}
+				if first == 0 {
+					first = w
+				} else {
+					return u, first, v, w, true
+				}
+			}
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// HasSquare reports whether g contains a 4-cycle.
+func HasSquare(g *Graph) bool {
+	_, _, _, _, ok := FindSquare(g)
+	return ok
+}
+
+// PolarityGraph returns the Erdős–Rényi polarity graph ER_q for a prime q:
+// nodes are the q²+q+1 points of the projective plane PG(2,q) and two
+// distinct points are adjacent iff their dot product vanishes mod q. The
+// graph is C4-free (two points lie on exactly one common line) with
+// ½(q+1)(q²+q+1) − O(q) edges — the extremal Θ(n^{3/2}) density. Its
+// subgraphs form a 2^{Θ(n^{3/2})}-sized C4-free family, the counting base
+// for the SQUARE lower bound (see internal/bounds).
+func PolarityGraph(q int) *Graph {
+	if q < 2 || !isPrime(q) {
+		panic(fmt.Sprintf("graph: PolarityGraph needs a prime q, got %d", q))
+	}
+	// Canonical projective points: (1,a,b), (0,1,c), (0,0,1).
+	type point [3]int
+	var pts []point
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			pts = append(pts, point{1, a, b})
+		}
+	}
+	for c := 0; c < q; c++ {
+		pts = append(pts, point{0, 1, c})
+	}
+	pts = append(pts, point{0, 0, 1})
+
+	n := len(pts) // q² + q + 1
+	g := New(n)
+	dot := func(u, v point) int {
+		return (u[0]*v[0] + u[1]*v[1] + u[2]*v[2]) % q
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dot(pts[i], pts[j]) == 0 {
+				g.AddEdge(i+1, j+1)
+			}
+		}
+	}
+	return g
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+func TestPolarityGraphStructure(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g := PolarityGraph(q)
+		wantN := q*q + q + 1
+		if g.N() != wantN {
+			t.Fatalf("q=%d: n=%d, want %d", q, g.N(), wantN)
+		}
+		// Degrees are q or q+1 (absolute points lose their self-loop).
+		absolute := 0
+		for v := 1; v <= g.N(); v++ {
+			switch g.Degree(v) {
+			case q + 1:
+			case q:
+				absolute++
+			default:
+				t.Fatalf("q=%d: node %d has degree %d", q, v, g.Degree(v))
+			}
+		}
+		if absolute == 0 {
+			t.Errorf("q=%d: expected some absolute points", q)
+		}
+		// Edge density is extremal: m = (n(q+1) − absolute)/2 ~ ½ n^{3/2}.
+		if wantM := (g.N()*(q+1) - absolute) / 2; g.M() != wantM {
+			t.Errorf("q=%d: m=%d, want %d", q, g.M(), wantM)
+		}
+	}
+}
+
+func TestPolarityGraphIsC4Free(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		if HasSquare(PolarityGraph(q)) {
+			t.Errorf("q=%d: polarity graph contains a C4", q)
+		}
+	}
+}
+
+func TestPolarityGraphRejectsNonPrime(t *testing.T) {
+	for _, q := range []int{1, 4, 6, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%d: expected panic", q)
+				}
+			}()
+			PolarityGraph(q)
+		}()
+	}
+}
+
+func TestFindSquare(t *testing.T) {
+	a, b, c, d, ok := FindSquare(Cycle(4))
+	if !ok {
+		t.Fatal("C4 has a square")
+	}
+	// Verify the returned cycle is a real 4-cycle.
+	g := Cycle(4)
+	if !g.HasEdge(a, b) || !g.HasEdge(b, c) || !g.HasEdge(c, d) || !g.HasEdge(d, a) {
+		t.Errorf("returned cycle %d-%d-%d-%d is not a square", a, b, c, d)
+	}
+	if HasSquare(Cycle(5)) || HasSquare(Complete(3)) || HasSquare(Path(6)) {
+		t.Error("false square positives")
+	}
+	if !HasSquare(Complete(4)) || !HasSquare(CompleteBipartite(2, 3)) {
+		t.Error("false square negatives")
+	}
+}

@@ -1,0 +1,297 @@
+// Package numtheory implements the power-sum neighborhood codec of
+// Section 3 of the paper.
+//
+// A node x of degree d ≤ k encodes its neighborhood N(x) ⊆ {1..n} as the
+// vector b(x) = (Σ_{w∈N(x)} ID(w)^p)_{p=1..k} — the product A(k,n)·x of the
+// paper's Vandermonde-like matrix with the incidence vector of N(x). By
+// Wright's theorem on equal sums of like powers (Theorem 1 of the paper),
+// the first d power sums determine the d-element set uniquely, so the
+// whiteboard message (ID, d, b) is decodable.
+//
+// Two decoders are provided:
+//
+//   - NewtonDecode inverts the power sums via Newton's identities: it
+//     recovers the elementary symmetric polynomials e_1..e_d, forms the monic
+//     polynomial with the neighborhood as its root multiset, and extracts the
+//     integer roots in 1..n by synthetic division. Exact arithmetic uses
+//     math/big; values are bounded by n^(k+1) per the paper's Lemma 1.
+//
+//   - Table (Lemma 2) precomputes all (≤k)-subsets of {1..n} keyed by their
+//     power-sum vector, trading O(n^k) space for O(k log n)-ish lookups.
+package numtheory
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// ErrNoSolution reports that no subset of {1..n} matches the power sums —
+// the encoded object was not a valid neighborhood (e.g. the graph was not
+// k-degenerate and the pruning order was wrong).
+var ErrNoSolution = errors.New("numtheory: power sums match no subset of 1..n")
+
+// PowerSums returns (Σ id^p)_{p=1..k} for the given set of identifiers.
+func PowerSums(ids []int, k int) []*big.Int {
+	sums := make([]*big.Int, k)
+	for p := range sums {
+		sums[p] = new(big.Int)
+	}
+	pw := new(big.Int)
+	for _, id := range ids {
+		if id < 1 {
+			panic(fmt.Sprintf("numtheory: invalid identifier %d", id))
+		}
+		pw.SetInt64(int64(id))
+		b := big.NewInt(int64(id))
+		for p := 0; p < k; p++ {
+			sums[p].Add(sums[p], pw)
+			if p+1 < k {
+				pw.Mul(pw, b)
+			}
+		}
+	}
+	return sums
+}
+
+// PowerSums64 is the overflow-checked uint64 fast path. ok is false when any
+// intermediate value would exceed 2^63-1, in which case callers must fall
+// back to PowerSums.
+func PowerSums64(ids []int, k int) (sums []uint64, ok bool) {
+	const limit = 1<<63 - 1
+	sums = make([]uint64, k)
+	for _, id := range ids {
+		pw := uint64(id)
+		for p := 0; p < k; p++ {
+			if sums[p] > limit-pw {
+				return nil, false
+			}
+			sums[p] += pw
+			if p+1 < k {
+				hi, lo := mul64(pw, uint64(id))
+				if hi != 0 || lo > limit {
+					return nil, false
+				}
+				pw = lo
+			}
+		}
+	}
+	return sums, true
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// SubtractMember updates sums in place to remove member id: sums[p] -= id^(p+1).
+// This is the whiteboard "pruning" update of Algorithm 1.
+func SubtractMember(sums []*big.Int, id int) {
+	pw := big.NewInt(int64(id))
+	b := big.NewInt(int64(id))
+	for p := range sums {
+		sums[p].Sub(sums[p], pw)
+		if p+1 < len(sums) {
+			pw.Mul(pw, b)
+		}
+	}
+}
+
+// NewtonDecode recovers the unique d-element subset of {1..n} whose first d
+// power sums equal sums[0..d-1]. len(sums) may exceed d; extra entries are
+// verified against the recovered set. It returns ErrNoSolution if no such
+// subset exists.
+func NewtonDecode(n, d int, sums []*big.Int) ([]int, error) {
+	if d < 0 || d > n {
+		return nil, fmt.Errorf("numtheory: degree %d out of range 0..%d", d, n)
+	}
+	if len(sums) < d {
+		return nil, fmt.Errorf("numtheory: need %d power sums, have %d", d, len(sums))
+	}
+	if d == 0 {
+		for _, s := range sums {
+			if s.Sign() != 0 {
+				return nil, ErrNoSolution
+			}
+		}
+		return []int{}, nil
+	}
+	// Newton's identities: j·e_j = Σ_{i=1..j} (−1)^{i−1} e_{j−i} p_i.
+	e := make([]*big.Int, d+1)
+	e[0] = big.NewInt(1)
+	tmp := new(big.Int)
+	for j := 1; j <= d; j++ {
+		acc := new(big.Int)
+		for i := 1; i <= j; i++ {
+			tmp.Mul(e[j-i], sums[i-1])
+			if i%2 == 1 {
+				acc.Add(acc, tmp)
+			} else {
+				acc.Sub(acc, tmp)
+			}
+		}
+		quo, rem := new(big.Int).QuoRem(acc, big.NewInt(int64(j)), new(big.Int))
+		if rem.Sign() != 0 {
+			return nil, ErrNoSolution // e_j not integral ⇒ sums are inconsistent
+		}
+		e[j] = quo
+	}
+	// The neighborhood ids are the roots of
+	//   x^d − e1·x^(d−1) + e2·x^(d−2) − ... + (−1)^d e_d.
+	// Coefficients high-to-low:
+	coeff := make([]*big.Int, d+1)
+	for j := 0; j <= d; j++ {
+		c := new(big.Int).Set(e[j])
+		if j%2 == 1 {
+			c.Neg(c)
+		}
+		coeff[j] = c
+	}
+	roots := make([]int, 0, d)
+	val := new(big.Int)
+	for r := 1; r <= n && len(coeff) > 1; {
+		// Horner evaluation at r.
+		rb := big.NewInt(int64(r))
+		val.Set(coeff[0])
+		for _, c := range coeff[1:] {
+			val.Mul(val, rb)
+			val.Add(val, c)
+		}
+		if val.Sign() == 0 {
+			roots = append(roots, r)
+			coeff = deflate(coeff, rb)
+			// A set has distinct members; advance past r.
+			r++
+		} else {
+			r++
+		}
+	}
+	if len(roots) != d {
+		return nil, ErrNoSolution
+	}
+	// Verify any surplus power sums (p_{d+1}..p_k) for robustness.
+	if len(sums) > d {
+		check := PowerSums(roots, len(sums))
+		for p := range sums {
+			if check[p].Cmp(sums[p]) != 0 {
+				return nil, ErrNoSolution
+			}
+		}
+	}
+	return roots, nil
+}
+
+// deflate divides the monic polynomial with the given high-to-low
+// coefficients by (x − r), assuming r is a root.
+func deflate(coeff []*big.Int, r *big.Int) []*big.Int {
+	out := make([]*big.Int, len(coeff)-1)
+	out[0] = new(big.Int).Set(coeff[0])
+	for i := 1; i < len(coeff)-1; i++ {
+		out[i] = new(big.Int).Mul(out[i-1], r)
+		out[i].Add(out[i], coeff[i])
+	}
+	return out
+}
+
+// Table is the Lemma 2 lookup decoder: all subsets of {1..n} of size ≤ k,
+// keyed by their power-sum vectors.
+type Table struct {
+	n, k int
+	m    map[string][]int
+}
+
+// NewTable enumerates the O(n^k) subsets. Intended for small n and k (tests
+// and the decoder ablation benchmark).
+func NewTable(n, k int) *Table {
+	t := &Table{n: n, k: k, m: make(map[string][]int)}
+	subset := make([]int, 0, k)
+	var rec func(start, size int)
+	rec = func(start, size int) {
+		key := sumKey(PowerSums(subset, k))
+		t.m[key] = append([]int(nil), subset...)
+		if size == k {
+			return
+		}
+		for v := start; v <= n; v++ {
+			subset = append(subset, v)
+			rec(v+1, size+1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(1, 0)
+	return t
+}
+
+// Decode looks up the subset for the given power sums (length ≥ its size's
+// worth; the full k-vector written on the whiteboard is the key).
+func (t *Table) Decode(d int, sums []*big.Int) ([]int, error) {
+	if len(sums) != t.k {
+		return nil, fmt.Errorf("numtheory: table built for k=%d, got %d sums", t.k, len(sums))
+	}
+	set, ok := t.m[sumKey(sums)]
+	if !ok {
+		return nil, ErrNoSolution
+	}
+	if len(set) != d {
+		return nil, fmt.Errorf("numtheory: table entry has size %d, message claims degree %d", len(set), d)
+	}
+	return append([]int(nil), set...), nil
+}
+
+// Size returns the number of table entries.
+func (t *Table) Size() int { return len(t.m) }
+
+func sumKey(sums []*big.Int) string {
+	var sb strings.Builder
+	for _, s := range sums {
+		sb.WriteString(s.Text(62))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// VerifyWright exhaustively checks Theorem 1 (uniqueness of power-sum
+// vectors) for all subsets of {1..n} of size ≤ k: it returns an error naming
+// two distinct subsets with equal vectors if any exist (there never should).
+func VerifyWright(n, k int) error {
+	seen := map[string][]int{}
+	subset := make([]int, 0, k)
+	var rec func(start, size int) error
+	rec = func(start, size int) error {
+		key := fmt.Sprintf("%d|%s", size, sumKey(PowerSums(subset, k)))
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("numtheory: subsets %v and %v share power sums", prev, subset)
+		}
+		seen[key] = append([]int(nil), subset...)
+		if size == k {
+			return nil
+		}
+		for v := start; v <= n; v++ {
+			subset = append(subset, v)
+			if err := rec(v+1, size+1); err != nil {
+				return err
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return nil
+	}
+	return rec(1, 0)
+}
+
+// SortedCopy returns a sorted copy of ids (decoder outputs are sorted; this
+// helps callers normalize).
+func SortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

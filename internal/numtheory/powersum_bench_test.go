@@ -1,0 +1,73 @@
+package numtheory
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPowerSums compares the big.Int encoder against the
+// overflow-checked uint64 fast path (the encode-side ablation; decode-side
+// is BenchmarkLemma2_Decoders at the repository root).
+func BenchmarkPowerSums(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 4, 8} {
+		for _, deg := range []int{4, 32} {
+			ids := make([]int, deg)
+			// Keep id^k within uint64 so both paths run the same input:
+			// 100^8 ≈ 1e16 < 2^63.
+			for i := range ids {
+				ids[i] = 1 + rng.Intn(100)
+			}
+			b.Run(fmt.Sprintf("big/k=%d/deg=%d", k, deg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					PowerSums(ids, k)
+				}
+			})
+			b.Run(fmt.Sprintf("uint64/k=%d/deg=%d", k, deg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, ok := PowerSums64(ids, k); !ok {
+						b.Fatal("unexpected overflow")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNewtonDecode measures decode cost across degrees and domains.
+func BenchmarkNewtonDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{100, 10000} {
+		for _, d := range []int{2, 4, 8} {
+			perm := rng.Perm(n)
+			ids := SortedCopy(perm[:d])
+			for i := range ids {
+				ids[i]++
+			}
+			ids = SortedCopy(ids)
+			sums := PowerSums(ids, d)
+			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := NewtonDecode(n, d, sums); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableBuild measures the Lemma 2 precomputation cost (the space-
+// time trade the paper describes).
+func BenchmarkTableBuild(b *testing.B) {
+	for _, c := range []struct{ n, k int }{{16, 2}, {24, 3}, {32, 3}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", c.n, c.k), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = NewTable(c.n, c.k).Size()
+			}
+			b.ReportMetric(float64(size), "entries")
+		})
+	}
+}

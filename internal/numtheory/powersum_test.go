@@ -1,0 +1,257 @@
+package numtheory
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPowerSumsSmall(t *testing.T) {
+	sums := PowerSums([]int{2, 3}, 3)
+	want := []int64{5, 13, 35} // 2+3, 4+9, 8+27
+	for p, w := range want {
+		if sums[p].Int64() != w {
+			t.Errorf("p=%d: got %v, want %d", p+1, sums[p], w)
+		}
+	}
+}
+
+func TestPowerSumsEmpty(t *testing.T) {
+	sums := PowerSums(nil, 4)
+	for p, s := range sums {
+		if s.Sign() != 0 {
+			t.Errorf("p=%d: empty set sum %v", p+1, s)
+		}
+	}
+}
+
+func TestPowerSums64MatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(100)
+		k := 1 + rng.Intn(4)
+		var ids []int
+		for v := 1; v <= n; v++ {
+			if rng.Intn(3) == 0 {
+				ids = append(ids, v)
+			}
+		}
+		fast, ok := PowerSums64(ids, k)
+		if !ok {
+			continue
+		}
+		slow := PowerSums(ids, k)
+		for p := range fast {
+			if new(big.Int).SetUint64(fast[p]).Cmp(slow[p]) != 0 {
+				t.Fatalf("n=%d k=%d p=%d: fast %d, slow %v", n, k, p+1, fast[p], slow[p])
+			}
+		}
+	}
+}
+
+func TestPowerSums64OverflowDetected(t *testing.T) {
+	// 2^60-ish ids to the 3rd power overflow.
+	ids := []int{1 << 30}
+	if _, ok := PowerSums64(ids, 3); ok {
+		t.Error("expected overflow flag")
+	}
+}
+
+func TestSubtractMember(t *testing.T) {
+	sums := PowerSums([]int{2, 5, 9}, 3)
+	SubtractMember(sums, 5)
+	want := PowerSums([]int{2, 9}, 3)
+	for p := range sums {
+		if sums[p].Cmp(want[p]) != 0 {
+			t.Errorf("p=%d: got %v, want %v", p+1, sums[p], want[p])
+		}
+	}
+}
+
+func TestNewtonDecodeKnownSets(t *testing.T) {
+	cases := [][]int{
+		{},
+		{1},
+		{7},
+		{1, 2},
+		{3, 9},
+		{1, 5, 8},
+		{2, 4, 6, 10},
+		{1, 2, 3, 4, 5},
+	}
+	for _, ids := range cases {
+		k := len(ids)
+		if k == 0 {
+			k = 2
+		}
+		sums := PowerSums(ids, k)
+		got, err := NewtonDecode(10, len(ids), sums)
+		if err != nil {
+			t.Fatalf("decode %v: %v", ids, err)
+		}
+		if !reflect.DeepEqual(got, ids) && !(len(got) == 0 && len(ids) == 0) {
+			t.Errorf("decode: got %v, want %v", got, ids)
+		}
+	}
+}
+
+func TestNewtonDecodeSurplusSumsVerified(t *testing.T) {
+	ids := []int{2, 5}
+	sums := PowerSums(ids, 4) // k=4 sums for a degree-2 node
+	got, err := NewtonDecode(9, 2, sums)
+	if err != nil || !reflect.DeepEqual(got, ids) {
+		t.Fatalf("decode with surplus sums: %v, %v", got, err)
+	}
+	// Corrupt a surplus sum: must be rejected.
+	sums[3].Add(sums[3], big.NewInt(1))
+	if _, err := NewtonDecode(9, 2, sums); err == nil {
+		t.Error("corrupted surplus sum accepted")
+	}
+}
+
+func TestNewtonDecodeNoSolution(t *testing.T) {
+	// p1=1, p2=2 has no subset solution: {1} gives (1,1); nothing gives (1,2).
+	sums := []*big.Int{big.NewInt(1), big.NewInt(2)}
+	if _, err := NewtonDecode(10, 1, sums); err != ErrNoSolution {
+		t.Errorf("got %v, want ErrNoSolution", err)
+	}
+	// Sum out of range: {11} when n=10.
+	sums2 := PowerSums([]int{11}, 1)
+	if _, err := NewtonDecode(10, 1, sums2); err != ErrNoSolution {
+		t.Errorf("got %v, want ErrNoSolution", err)
+	}
+}
+
+func TestNewtonDecodeBadArgs(t *testing.T) {
+	if _, err := NewtonDecode(5, 6, PowerSums([]int{1}, 6)); err == nil {
+		t.Error("d > n accepted")
+	}
+	if _, err := NewtonDecode(5, 2, PowerSums([]int{1, 2}, 1)); err == nil {
+		t.Error("too few sums accepted")
+	}
+	if _, err := NewtonDecode(5, -1, nil); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestNewtonDecodeRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(200)
+		d := rng.Intn(6)
+		if d > n {
+			d = n
+		}
+		perm := rng.Perm(n)
+		ids := make([]int, d)
+		for i := 0; i < d; i++ {
+			ids[i] = perm[i] + 1
+		}
+		ids = SortedCopy(ids)
+		k := d + rng.Intn(3)
+		if k == 0 {
+			k = 1
+		}
+		sums := PowerSums(ids, k)
+		got, err := NewtonDecode(n, d, sums)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d d=%d ids=%v): %v", trial, n, d, ids, err)
+		}
+		if !reflect.DeepEqual(got, ids) && !(len(got) == 0 && len(ids) == 0) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, ids)
+		}
+	}
+}
+
+func TestNewtonDecodeLargeN(t *testing.T) {
+	// n large enough that n^(k+1) needs big arithmetic.
+	n := 1 << 20
+	ids := []int{12345, 678901, 1 << 19, n}
+	sums := PowerSums(ids, 6)
+	got, err := NewtonDecode(n, 4, sums)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, SortedCopy(ids)) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTableDecoder(t *testing.T) {
+	tab := NewTable(8, 3)
+	// #subsets of size ≤ 3 of 8 elements: 1 + 8 + 28 + 56 = 93.
+	if tab.Size() != 93 {
+		t.Errorf("table size %d, want 93", tab.Size())
+	}
+	for _, ids := range [][]int{{}, {4}, {1, 8}, {2, 3, 7}} {
+		sums := PowerSums(ids, 3)
+		got, err := tab.Decode(len(ids), sums)
+		if err != nil {
+			t.Fatalf("table decode %v: %v", ids, err)
+		}
+		if !reflect.DeepEqual(got, ids) && !(len(got) == 0 && len(ids) == 0) {
+			t.Errorf("table decode: got %v, want %v", got, ids)
+		}
+	}
+	// Wrong degree claim.
+	if _, err := tab.Decode(2, PowerSums([]int{1}, 3)); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+	// Unknown sums.
+	if _, err := tab.Decode(1, []*big.Int{big.NewInt(100), big.NewInt(0), big.NewInt(0)}); err != ErrNoSolution {
+		t.Error("unknown sums accepted")
+	}
+	// Wrong k.
+	if _, err := tab.Decode(1, PowerSums([]int{1}, 2)); err == nil {
+		t.Error("k mismatch accepted")
+	}
+}
+
+func TestDecodersAgree(t *testing.T) {
+	tab := NewTable(10, 3)
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		d := rng.Intn(4)
+		perm := rng.Perm(10)
+		ids := SortedCopy(perm[:d])
+		for i := range ids {
+			ids[i]++
+		}
+		ids = SortedCopy(ids)
+		sums := PowerSums(ids, 3)
+		a, errA := NewtonDecode(10, d, sums)
+		b, errB := tab.Decode(d, sums)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("decoder disagreement on %v: %v vs %v", ids, errA, errB)
+		}
+		if errA == nil && !(len(a) == 0 && len(b) == 0) && !reflect.DeepEqual(a, b) {
+			t.Fatalf("decoder outputs differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestVerifyWrightSmall(t *testing.T) {
+	// Theorem 1 (Wright): power-sum vectors are unique per subset size.
+	for _, c := range []struct{ n, k int }{{6, 1}, {6, 2}, {7, 3}, {5, 4}} {
+		if err := VerifyWright(c.n, c.k); err != nil {
+			t.Errorf("n=%d k=%d: %v", c.n, c.k, err)
+		}
+	}
+}
+
+func TestVerifyWrightUniqueAcrossSizesGivenDegree(t *testing.T) {
+	// Stronger use in the protocol: (degree, sums) pairs are unique. Sums
+	// alone can collide across sizes only if sums are equal with different
+	// cardinalities; Wright with zero-padding covers it, but the protocol
+	// always transmits the degree, so we only need per-size uniqueness,
+	// which VerifyWright established. This test documents the contract.
+	a := PowerSums([]int{3}, 2)
+	b := PowerSums([]int{1, 2}, 2)
+	if a[0].Cmp(b[0]) != 0 {
+		t.Skip("unexpected: no size collision to document")
+	}
+	if a[1].Cmp(b[1]) == 0 {
+		t.Error("p2 must differ between {3} and {1,2}")
+	}
+}

@@ -1,0 +1,101 @@
+package numtheory
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: encode→decode is the identity on every subset of {1..n} with
+// at most k elements (Wright's theorem, exercised via testing/quick).
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		n := 60
+		k := 1 + int(kRaw%5)
+		seen := map[int]bool{}
+		var ids []int
+		for _, r := range raw {
+			if len(ids) == k {
+				break
+			}
+			id := 1 + int(r)%n
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		ids = SortedCopy(ids)
+		sums := PowerSums(ids, k)
+		got, err := NewtonDecode(n, len(ids), sums)
+		if err != nil {
+			return false
+		}
+		return (len(got) == 0 && len(ids) == 0) || reflect.DeepEqual(got, ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power sums are additive over disjoint unions.
+func TestQuickPowerSumsAdditive(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		const k = 3
+		seen := map[int]bool{}
+		take := func(raw []uint8, lo int) []int {
+			var out []int
+			for _, r := range raw {
+				id := lo + int(r)%50
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		a := take(rawA, 1)    // ids in 1..50
+		b := take(rawB, 51)   // ids in 51..100, disjoint from a
+		sa := PowerSums(a, k) // Σ over a
+		sb := PowerSums(b, k)
+		su := PowerSums(append(append([]int(nil), a...), b...), k)
+		for p := 0; p < k; p++ {
+			sa[p].Add(sa[p], sb[p])
+			if sa[p].Cmp(su[p]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SubtractMember inverts adding a member.
+func TestQuickSubtractInvertsAdd(t *testing.T) {
+	f := func(raw []uint8, extra uint8) bool {
+		const k = 4
+		seen := map[int]bool{}
+		var ids []int
+		for _, r := range raw {
+			id := 1 + int(r)%80
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		x := 81 + int(extra)%19 // disjoint member
+		with := PowerSums(append(append([]int(nil), ids...), x), k)
+		SubtractMember(with, x)
+		want := PowerSums(ids, k)
+		for p := 0; p < k; p++ {
+			if with[p].Cmp(want[p]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// TestGeneralBFSExhaustiveAllGraphsFiveNodesAllSchedules pushes the
+// Theorem 10 certificate to n=5: all 1024 labeled graphs, every
+// adversarial schedule of each. Skipped in -short mode.
+func TestGeneralBFSExhaustiveAllGraphsFiveNodesAllSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	exhaustiveAllGraphsAllSchedules(t, 5)
+}
+
+// TestGeneralBFSExhaustiveAllGraphsSixNodesAllSchedules goes to n=6: all
+// 32768 labeled graphs × all schedules. A few seconds; skipped in -short.
+func TestGeneralBFSExhaustiveAllGraphsSixNodesAllSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	exhaustiveAllGraphsAllSchedules(t, 6)
+}
+
+func exhaustiveAllGraphsAllSchedules(t *testing.T, n int) {
+	totalSchedules := 0
+	graph.AllGraphs(n, func(g *graph.Graph) bool {
+		want := graph.BFSForest(g)
+		stats, err := engine.RunAll(New(General), g, engine.Options{}, 1<<24,
+			func(res *core.Result, order []int) error {
+				if res.Status != core.Success {
+					return fmt.Errorf("%v order %v: %v (%v)", g, order, res.Status, res.Err)
+				}
+				f := res.Output.(Forest)
+				for v := 1; v <= g.N(); v++ {
+					if f.Parent[v] != want.Parent[v] || f.Layer[v] != want.Layer[v] {
+						return fmt.Errorf("%v order %v: node %d got (%d,%d) want (%d,%d)",
+							g, order, v, f.Parent[v], f.Layer[v], want.Parent[v], want.Layer[v])
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSchedules += stats.Schedules
+		return true
+	})
+	t.Logf("verified %d (graph, schedule) pairs", totalSchedules)
+}

@@ -1,0 +1,145 @@
+// Package buildforest implements the paper's Section 3.1 protocol: BUILD
+// (graph reconstruction) for forests in SIMASYNC[log n].
+//
+// Every node writes, from local knowledge only, the triple
+//
+//	(ID(v), deg_T(v), Σ_{w ∈ N(v)} ID(w))
+//
+// in under 4·log n bits. The output function prunes leaves: a degree-1
+// node's single neighbor is its identifier sum; removing the leaf updates
+// the neighbor's (degree, sum) pair, and induction rebuilds the whole
+// forest. If pruning stalls with positive degrees left, the graph contains
+// a cycle and the protocol reports "not a forest" — the recognition variant
+// mentioned after Theorem 2.
+package buildforest
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Decoded is the protocol output: either the reconstructed forest, or
+// InClass=false when the input contained a cycle.
+type Decoded struct {
+	Forest  *graph.Graph // nil iff !InClass
+	InClass bool
+}
+
+// Protocol is the SIMASYNC[log n] BUILD protocol for forests.
+type Protocol struct{}
+
+// Name implements core.Protocol.
+func (Protocol) Name() string { return "build-forest" }
+
+// Model implements core.Protocol: the weakest model, SIMASYNC.
+func (Protocol) Model() core.Model { return core.SimAsync }
+
+// MaxMessageBits returns the exact bit budget: ID and degree in ⌈log(n+1)⌉
+// bits each, the neighbor-ID sum in ⌈log(n²+1)⌉ bits — under 4 log n total.
+func (Protocol) MaxMessageBits(n int) int {
+	w := bitio.WidthID(n)
+	return 2*w + bitio.Width(uint64(n)*uint64(n))
+}
+
+// Activate implements core.Protocol: simultaneous, always true.
+func (Protocol) Activate(core.NodeView, *core.Board) bool { return true }
+
+// Compose implements core.Protocol. It reads nothing from the board.
+func (Protocol) Compose(v core.NodeView, _ *core.Board) core.Message {
+	w := bitio.WidthID(v.N)
+	sumW := bitio.Width(uint64(v.N) * uint64(v.N))
+	sum := uint64(0)
+	for _, u := range v.Neighbors {
+		sum += uint64(u)
+	}
+	var bw bitio.Writer
+	bw.WriteUint(uint64(v.ID), w)
+	bw.WriteUint(uint64(v.Degree()), w)
+	bw.WriteUint(sum, sumW)
+	return core.Message{Data: bw.Bytes(), Bits: bw.Bits()}
+}
+
+// Output implements core.Protocol: leaf pruning per Section 3.1.
+func (Protocol) Output(n int, b *core.Board) (any, error) {
+	deg := make([]int, n+1)
+	sum := make([]uint64, n+1)
+	seen := make([]bool, n+1)
+	w := bitio.WidthID(n)
+	sumW := bitio.Width(uint64(n) * uint64(n))
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		r := bitio.NewReader(m.Data, m.Bits)
+		id, err := r.ReadUint(w)
+		if err != nil {
+			return nil, fmt.Errorf("buildforest: message %d: %w", i, err)
+		}
+		d, err := r.ReadUint(w)
+		if err != nil {
+			return nil, fmt.Errorf("buildforest: message %d: %w", i, err)
+		}
+		s, err := r.ReadUint(sumW)
+		if err != nil {
+			return nil, fmt.Errorf("buildforest: message %d: %w", i, err)
+		}
+		v := int(id)
+		if v < 1 || v > n {
+			return nil, fmt.Errorf("buildforest: message %d: id %d out of range", i, v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("buildforest: duplicate message for node %d", v)
+		}
+		seen[v] = true
+		deg[v] = int(d)
+		sum[v] = s
+	}
+	for v := 1; v <= n; v++ {
+		if !seen[v] {
+			return nil, fmt.Errorf("buildforest: no message from node %d", v)
+		}
+	}
+
+	// Prune leaves. A forest always has a node of degree ≤ 1 among the
+	// remaining nodes; if none exists, the graph has a cycle.
+	g := graph.New(n)
+	removed := make([]bool, n+1)
+	queue := make([]int, 0, n)
+	for v := 1; v <= n; v++ {
+		if deg[v] <= 1 {
+			queue = append(queue, v)
+		}
+	}
+	left := n
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		left--
+		if deg[v] == 0 {
+			continue
+		}
+		// deg[v] == 1: the remaining neighbor is the sum itself.
+		u := int(sum[v])
+		if u < 1 || u > n || u == v || removed[u] || deg[u] < 1 {
+			return nil, fmt.Errorf("buildforest: inconsistent messages: leaf %d names neighbor %d", v, u)
+		}
+		g.AddEdge(v, u)
+		deg[u]--
+		sum[u] -= uint64(v)
+		if deg[u] <= 1 {
+			queue = append(queue, u)
+		}
+	}
+	if left > 0 {
+		// Remaining nodes all have degree ≥ 2: a cycle.
+		return Decoded{InClass: false}, nil
+	}
+	return Decoded{Forest: g, InClass: true}, nil
+}
+
+var _ core.Protocol = Protocol{}

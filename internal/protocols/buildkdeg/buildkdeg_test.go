@@ -1,0 +1,189 @@
+package buildkdeg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+func runOn(t *testing.T, p Protocol, g *graph.Graph, adv adversary.Adversary) Decoded {
+	t.Helper()
+	res := engine.Run(p, g, adv, engine.Options{})
+	if res.Status != core.Success {
+		t.Fatalf("run on %v: %v (%v)", g, res.Status, res.Err)
+	}
+	return res.Output.(Decoded)
+}
+
+func TestReconstructsDegenerateFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		k int
+		g *graph.Graph
+	}{
+		{1, graph.Path(8)},
+		{1, graph.RandomTree(12, rng)},
+		{2, graph.Cycle(9)},
+		{2, graph.Grid(3, 4)},
+		{3, graph.Complete(4)},
+		{2, graph.RandomKDegenerate(14, 2, rng)},
+		{3, graph.RandomKDegenerate(14, 3, rng)},
+		{4, graph.RandomKDegenerate(12, 4, rng)},
+		{3, graph.CompleteBipartite(3, 6)},
+		{2, graph.New(5)}, // empty graph
+	}
+	for _, c := range cases {
+		for _, adv := range adversary.Standard(1, 5) {
+			d := runOn(t, Protocol{K: c.k}, c.g, adv)
+			if !d.InClass {
+				t.Fatalf("k=%d: %v rejected", c.k, c.g)
+			}
+			if !d.Graph.Equal(c.g) {
+				t.Errorf("k=%d adv %s: mismatch for %v", c.k, adv.Name(), c.g)
+			}
+		}
+	}
+}
+
+func TestRejectsHighDegeneracy(t *testing.T) {
+	cases := []struct {
+		k int
+		g *graph.Graph
+	}{
+		{1, graph.Cycle(5)},                // degeneracy 2
+		{2, graph.Complete(4)},             // degeneracy 3
+		{3, graph.Complete(5)},             // degeneracy 4
+		{2, graph.CompleteBipartite(3, 3)}, // degeneracy 3
+	}
+	for _, c := range cases {
+		d := runOn(t, Protocol{K: c.k}, c.g, adversary.MinID{})
+		if d.InClass {
+			t.Errorf("k=%d: %v accepted (degeneracy %d)", c.k, c.g, graph.Degeneracy(c.g))
+		}
+	}
+}
+
+func TestExhaustiveAllGraphsFiveNodesK2(t *testing.T) {
+	// For every labeled graph on 5 nodes: accept+reconstruct iff
+	// degeneracy ≤ 2, under several schedules.
+	p := Protocol{K: 2}
+	graph.AllGraphs(5, func(g *graph.Graph) bool {
+		inClass := graph.Degeneracy(g) <= 2
+		res := engine.Run(p, g, adversary.Rotor{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("%v: %v (%v)", g, res.Status, res.Err)
+		}
+		d := res.Output.(Decoded)
+		if d.InClass != inClass {
+			t.Errorf("%v: InClass=%v, want %v", g, d.InClass, inClass)
+			return false
+		}
+		if inClass && !d.Graph.Equal(g) {
+			t.Errorf("%v: wrong reconstruction", g)
+			return false
+		}
+		return true
+	})
+}
+
+func TestForestCaseMatchesK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomForest(15, 0.7, rng)
+		d := runOn(t, Protocol{K: 1}, g, adversary.NewRandom(int64(trial)))
+		if !d.InClass || !d.Graph.Equal(g) {
+			t.Fatalf("trial %d: forest round trip failed", trial)
+		}
+	}
+}
+
+func TestTableDecoderAgreesWithNewton(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomKDegenerate(9, 2, rng)
+		a := runOn(t, Protocol{K: 2, Decode: Newton}, g, adversary.MinID{})
+		b := runOn(t, Protocol{K: 2, Decode: Table}, g, adversary.MinID{})
+		if a.InClass != b.InClass {
+			t.Fatalf("decoder disagreement on %v", g)
+		}
+		if a.InClass && !a.Graph.Equal(b.Graph) {
+			t.Fatalf("decoder outputs differ on %v", g)
+		}
+	}
+}
+
+func TestMessageSizeLemma1(t *testing.T) {
+	// Lemma 1: O(k² log n); concretely ≤ (k+1)(k+2)·⌈log₂(n+1)⌉ + slack for
+	// varint length prefixes.
+	for _, n := range []int{10, 100, 1000, 10000} {
+		for _, k := range []int{1, 2, 3, 5} {
+			budget := Protocol{K: k}.MaxMessageBits(n)
+			logn := int(math.Ceil(math.Log2(float64(n + 1))))
+			bound := (k+1)*(k+2)*logn + 10*(k+1)
+			if budget > bound {
+				t.Errorf("n=%d k=%d: budget %d > bound %d", n, k, budget, bound)
+			}
+		}
+	}
+}
+
+func TestObservedBitsWithinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range []int{1, 2, 3} {
+		g := graph.RandomKDegenerate(60, k, rng)
+		res := engine.Run(Protocol{K: k}, g, adversary.MaxID{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("k=%d: %v", k, res.Err)
+		}
+		if res.MaxBits > (Protocol{K: k}).MaxMessageBits(60) {
+			t.Errorf("k=%d: message of %d bits over budget", k, res.MaxBits)
+		}
+	}
+}
+
+func TestLargerGraphRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(41))
+	g := graph.RandomKDegenerate(200, 3, rng)
+	d := runOn(t, Protocol{K: 3}, g, adversary.NewRandom(99))
+	if !d.InClass || !d.Graph.Equal(g) {
+		t.Fatal("round trip failed at n=200")
+	}
+}
+
+func TestExhaustiveSchedulesSmall(t *testing.T) {
+	g := graph.Cycle(5)
+	want := g.Clone()
+	_, err := engine.RunAll(Protocol{K: 2}, g, engine.Options{}, 1<<20,
+		func(res *core.Result, order []int) error {
+			if res.Status != core.Success {
+				return fmt.Errorf("order %v: %v", order, res.Status)
+			}
+			d := res.Output.(Decoded)
+			if !d.InClass || !d.Graph.Equal(want) {
+				return fmt.Errorf("order %v: bad output", order)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanarLikeGridsAnyK5(t *testing.T) {
+	// Planar graphs have degeneracy ≤ 5 (paper cites this as a target
+	// class); grids are planar with degeneracy 2, so K=5 must also work.
+	g := graph.Grid(4, 6)
+	d := runOn(t, Protocol{K: 5}, g, adversary.Rotor{})
+	if !d.InClass || !d.Graph.Equal(g) {
+		t.Error("grid under K=5 failed")
+	}
+}

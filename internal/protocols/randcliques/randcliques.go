@@ -1,0 +1,123 @@
+// Package randcliques implements a randomized SIMASYNC[O(log n)] protocol
+// for 2-CLIQUES, in the direction of the paper's Open Problem 4 ("It can be
+// shown that 2-CLIQUES admits a randomized protocol for these models").
+//
+// Idea: in a disjoint union of two n/2-cliques, a node's *closed*
+// neighborhood N[v] is exactly its own clique, so the 2n-node... the n-node
+// input is two cliques iff the closed neighborhoods take exactly two
+// values, each shared by n/2 nodes: if a class of n/2 nodes shares a closed
+// neighborhood S with |S| = n/2, the class is contained in S, hence equals
+// it, and is therefore a clique with no outgoing edges.
+//
+// Each node writes a B-bit seeded fingerprint of N[v]. The output accepts
+// iff exactly two fingerprint values appear, each n/2 times. Errors are
+// one-sided up to fingerprint collisions: a yes-instance is rejected only
+// if the two cliques' fingerprints collide (probability ≈ 2^-B), and a
+// no-instance is accepted only if distinct neighborhoods collide into a
+// balanced two-value pattern (probability ≤ n²·2^-B by a union bound). The
+// protocol never reads the whiteboard, so it sits in the weakest model,
+// where Section 5.1 shows no deterministic o(n)-bit protocol exists.
+package randcliques
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+)
+
+// Output is the randomized decision.
+type Output struct {
+	TwoCliques bool
+}
+
+// Protocol is the randomized SIMASYNC 2-CLIQUES protocol. Seed is the
+// shared randomness (part of the protocol description, known to all nodes);
+// Bits is the fingerprint width B (≤ 64).
+type Protocol struct {
+	Seed uint64
+	Bits int
+}
+
+// Name implements core.Protocol.
+func (p Protocol) Name() string { return fmt.Sprintf("rand-two-cliques(B=%d)", p.Bits) }
+
+// Model implements core.Protocol.
+func (Protocol) Model() core.Model { return core.SimAsync }
+
+// MaxMessageBits: the fingerprint only.
+func (p Protocol) MaxMessageBits(int) int { return p.width() }
+
+func (p Protocol) width() int {
+	if p.Bits <= 0 || p.Bits > 64 {
+		return 32
+	}
+	return p.Bits
+}
+
+// Activate implements core.Protocol: simultaneous.
+func (Protocol) Activate(core.NodeView, *core.Board) bool { return true }
+
+// fingerprint hashes the closed neighborhood with a seeded mixer
+// (splitmix64-style, stdlib only). Set-valued: order independent by
+// hashing the sorted members in sequence.
+func (p Protocol) fingerprint(v core.NodeView) uint64 {
+	h := p.Seed ^ 0x9e3779b97f4a7c15
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	// Closed neighborhood in sorted order: neighbors are sorted and v.ID
+	// slots in at its unique position.
+	placed := false
+	for _, u := range v.Neighbors {
+		if !placed && v.ID < u {
+			mix(uint64(v.ID))
+			placed = true
+		}
+		mix(uint64(u))
+	}
+	if !placed {
+		mix(uint64(v.ID))
+	}
+	if p.width() == 64 {
+		return h
+	}
+	return h & ((1 << uint(p.width())) - 1)
+}
+
+// Compose implements core.Protocol: the fingerprint, nothing else.
+func (p Protocol) Compose(v core.NodeView, _ *core.Board) core.Message {
+	var w bitio.Writer
+	w.WriteUint(p.fingerprint(v), p.width())
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}
+}
+
+// Output implements core.Protocol: accept iff exactly two fingerprint
+// classes of size n/2 each.
+func (p Protocol) Output(n int, b *core.Board) (any, error) {
+	counts := map[uint64]int{}
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		r := bitio.NewReader(m.Data, m.Bits)
+		fp, err := r.ReadUint(p.width())
+		if err != nil {
+			return nil, fmt.Errorf("randcliques: message %d: %w", i, err)
+		}
+		counts[fp]++
+	}
+	if n%2 != 0 || len(counts) != 2 {
+		return Output{TwoCliques: false}, nil
+	}
+	for _, c := range counts {
+		if c != n/2 {
+			return Output{TwoCliques: false}, nil
+		}
+	}
+	return Output{TwoCliques: true}, nil
+}
+
+var _ core.Protocol = Protocol{}

@@ -1,0 +1,107 @@
+// Package subgraphf implements the paper's Theorem 9 witness problem
+// SUBGRAPH_f: output the subgraph induced by keeping only the edges among
+// the first f(n) nodes {v1..v_f(n)}.
+//
+// The protocol is SIMASYNC[f(n) + log n]: each node writes its identifier
+// followed by the first f(n) bits of its row of the adjacency matrix.
+// Theorem 9 shows the problem needs Ω(f(n)) bits per message even in the
+// full SYNC model — message size and synchronization power are orthogonal
+// resources. The counting side of that argument lives in internal/bounds.
+package subgraphf
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Protocol is the SIMASYNC[f(n)+log n] SUBGRAPH_f protocol.
+type Protocol struct {
+	// F computes f(n), the prefix length; it must satisfy 0 ≤ f(n) ≤ n.
+	F func(n int) int
+	// Label names the choice of f in reports (e.g. "sqrt").
+	Label string
+}
+
+// Name implements core.Protocol.
+func (p Protocol) Name() string { return "subgraph-" + p.Label }
+
+// Model implements core.Protocol.
+func (Protocol) Model() core.Model { return core.SimAsync }
+
+// MaxMessageBits: identifier plus f(n) adjacency bits.
+func (p Protocol) MaxMessageBits(n int) int { return bitio.WidthID(n) + p.f(n) }
+
+func (p Protocol) f(n int) int {
+	f := p.F(n)
+	if f < 0 {
+		return 0
+	}
+	if f > n {
+		return n
+	}
+	return f
+}
+
+// Activate implements core.Protocol: simultaneous.
+func (Protocol) Activate(core.NodeView, *core.Board) bool { return true }
+
+// Compose implements core.Protocol: ID then adjacency bits to v1..v_f.
+func (p Protocol) Compose(v core.NodeView, _ *core.Board) core.Message {
+	f := p.f(v.N)
+	var w bitio.Writer
+	w.WriteUint(uint64(v.ID), bitio.WidthID(v.N))
+	for u := 1; u <= f; u++ {
+		w.WriteBool(v.HasNeighbor(u))
+	}
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}
+}
+
+// Output implements core.Protocol: the n-node graph containing exactly the
+// edges among {v1..v_f}. Rows are cross-checked for symmetry.
+func (p Protocol) Output(n int, b *core.Board) (any, error) {
+	f := p.f(n)
+	rows := make([][]bool, n+1)
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		r := bitio.NewReader(m.Data, m.Bits)
+		id, err := r.ReadUint(bitio.WidthID(n))
+		if err != nil {
+			return nil, fmt.Errorf("subgraphf: message %d: %w", i, err)
+		}
+		v := int(id)
+		if v < 1 || v > n || rows[v] != nil {
+			return nil, fmt.Errorf("subgraphf: bad or duplicate id %d", v)
+		}
+		row := make([]bool, f+1)
+		for u := 1; u <= f; u++ {
+			bit, err := r.ReadBool()
+			if err != nil {
+				return nil, fmt.Errorf("subgraphf: message %d: %w", i, err)
+			}
+			row[u] = bit
+		}
+		rows[v] = row
+	}
+	g := graph.New(n)
+	for u := 1; u <= f; u++ {
+		if rows[u] == nil {
+			return nil, fmt.Errorf("subgraphf: no message from node %d", u)
+		}
+	}
+	for u := 1; u <= f; u++ {
+		for w := u + 1; w <= f; w++ {
+			if rows[u][w] != rows[w][u] {
+				return nil, fmt.Errorf("subgraphf: asymmetric rows for {%d,%d}", u, w)
+			}
+			if rows[u][w] {
+				g.AddEdge(u, w)
+			}
+		}
+	}
+	return g, nil
+}
+
+var _ core.Protocol = Protocol{}

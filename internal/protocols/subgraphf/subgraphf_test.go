@@ -1,0 +1,103 @@
+package subgraphf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+func sqrtF() Protocol {
+	return Protocol{F: func(n int) int { return int(math.Ceil(math.Sqrt(float64(n)))) }, Label: "sqrt"}
+}
+
+func runOn(t *testing.T, p Protocol, g *graph.Graph, adv adversary.Adversary) *graph.Graph {
+	t.Helper()
+	res := engine.Run(p, g, adv, engine.Options{})
+	if res.Status != core.Success {
+		t.Fatalf("%v: %v (%v)", g, res.Status, res.Err)
+	}
+	return res.Output.(*graph.Graph)
+}
+
+func wantPrefix(g *graph.Graph, f int) *graph.Graph {
+	w := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if e[0] <= f && e[1] <= f {
+			w.AddEdge(e[0], e[1])
+		}
+	}
+	return w
+}
+
+func TestRecoversPrefixSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := sqrtF()
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(30)
+		g := graph.RandomGNP(n, 0.4, rng)
+		f := p.f(n)
+		got := runOn(t, p, g, adversary.NewRandom(int64(trial)))
+		if !got.Equal(wantPrefix(g, f)) {
+			t.Fatalf("n=%d f=%d: wrong prefix subgraph", n, f)
+		}
+	}
+}
+
+func TestFullPrefixEqualsBuild(t *testing.T) {
+	// f(n) = n makes SUBGRAPH_f the full BUILD problem with Θ(n)-bit
+	// messages — the degenerate end of the hierarchy.
+	p := Protocol{F: func(n int) int { return n }, Label: "all"}
+	g := graph.RandomGNP(10, 0.5, rand.New(rand.NewSource(6)))
+	got := runOn(t, p, g, adversary.MinID{})
+	if !got.Equal(g) {
+		t.Fatal("f=n should rebuild the whole graph")
+	}
+}
+
+func TestZeroPrefix(t *testing.T) {
+	p := Protocol{F: func(n int) int { return 0 }, Label: "zero"}
+	g := graph.Complete(5)
+	got := runOn(t, p, g, adversary.MinID{})
+	if got.M() != 0 {
+		t.Fatal("f=0 should output an empty graph")
+	}
+}
+
+func TestClampsOutOfRangeF(t *testing.T) {
+	p := Protocol{F: func(n int) int { return n + 10 }, Label: "over"}
+	if p.f(7) != 7 {
+		t.Errorf("f clamped to %d, want 7", p.f(7))
+	}
+	p2 := Protocol{F: func(n int) int { return -3 }, Label: "neg"}
+	if p2.f(7) != 0 {
+		t.Errorf("f clamped to %d, want 0", p2.f(7))
+	}
+}
+
+func TestMessageBudgetTheorem9Shape(t *testing.T) {
+	// Message size must be f(n) + Θ(log n) — linear in f, not in n.
+	p := sqrtF()
+	for _, n := range []int{16, 64, 256, 1024} {
+		budget := p.MaxMessageBits(n)
+		f := p.f(n)
+		logn := int(math.Ceil(math.Log2(float64(n + 1))))
+		if budget != f+logn {
+			t.Errorf("n=%d: budget %d, want f+log = %d", n, budget, f+logn)
+		}
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	g := graph.RandomGNP(12, 0.5, rand.New(rand.NewSource(7)))
+	p := sqrtF()
+	a := runOn(t, p, g, adversary.MinID{})
+	b := runOn(t, p, g, adversary.MaxID{})
+	if !a.Equal(b) {
+		t.Fatal("output depends on schedule")
+	}
+}

@@ -1,0 +1,176 @@
+// Package reductions makes the paper's lower-bound proofs executable.
+//
+// Theorems 3, 6 and 8 all follow one scheme: if problem P had a
+// small-message protocol, then BUILD (full graph reconstruction) would have
+// one too, contradicting the Lemma 3 counting bound. The scheme rests on
+// gadget constructions — Figure 1's triangle gadget and Figure 2's
+// EOB-BFS gadget — plus a whiteboard simulation argument. This package
+// implements the gadgets with machine-checked defining properties, and the
+// simulations as real protocols (TrianglePrime, MISPrime, EOBPrime) that
+// can be run through the engine with any suitable inner protocol plugged
+// in. Oracle inner protocols with Θ(n)-bit messages (package file
+// oracles.go) demonstrate the transformations end to end; the counting
+// side lives in internal/bounds.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// TriangleGadget builds G'_{s,t} of Figure 1: the input graph plus one
+// extra node n+1 adjacent to exactly v_s and v_t. If the input is
+// triangle-free (in particular bipartite), G'_{s,t} contains a triangle iff
+// {v_s, v_t} is an edge.
+func TriangleGadget(g *graph.Graph, s, t int) *graph.Graph {
+	n := g.N()
+	out := graph.New(n + 1)
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	out.AddEdge(s, n+1)
+	out.AddEdge(t, n+1)
+	return out
+}
+
+// VerifyTriangleGadget checks the Figure 1 property on a triangle-free
+// input: for every pair s < t, G'_{s,t} has a triangle iff {s,t} ∈ E.
+func VerifyTriangleGadget(g *graph.Graph) error {
+	if graph.HasTriangle(g) {
+		return fmt.Errorf("reductions: input graph must be triangle-free")
+	}
+	for s := 1; s <= g.N(); s++ {
+		for t := s + 1; t <= g.N(); t++ {
+			got := graph.HasTriangle(TriangleGadget(g, s, t))
+			want := g.HasEdge(s, t)
+			if got != want {
+				return fmt.Errorf("reductions: gadget property fails at {%d,%d}: triangle=%v edge=%v",
+					s, t, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// MISGadget builds G^(x)_{i,j} of Theorem 6: the input graph plus one extra
+// node x = n+1 adjacent to every node except v_i and v_j. If {v_i,v_j} ∉ E,
+// the unique inclusion-maximal independent set containing x is {x, v_i,
+// v_j}; otherwise there are two, {x, v_i} and {x, v_j}.
+func MISGadget(g *graph.Graph, i, j int) *graph.Graph {
+	n := g.N()
+	out := graph.New(n + 1)
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	for v := 1; v <= n; v++ {
+		if v != i && v != j {
+			out.AddEdge(v, n+1)
+		}
+	}
+	return out
+}
+
+// VerifyMISGadget checks the Theorem 6 property for every pair: a maximal
+// independent set of G^(x)_{i,j} containing x contains both v_i and v_j iff
+// {v_i,v_j} ∉ E.
+func VerifyMISGadget(g *graph.Graph) error {
+	n := g.N()
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			gad := MISGadget(g, i, j)
+			x := n + 1
+			// Any MIS containing x: x dominates V∖{i,j}, so the set is
+			// {x} ∪ S with S ⊆ {v_i,v_j} independent and maximal.
+			both := []int{i, j, x}
+			if g.HasEdge(i, j) {
+				if graph.IsIndependentSet(gad, both) {
+					return fmt.Errorf("reductions: {x,%d,%d} independent despite edge", i, j)
+				}
+				if !graph.IsMaximalIndependentSet(gad, []int{i, x}) ||
+					!graph.IsMaximalIndependentSet(gad, []int{j, x}) {
+					return fmt.Errorf("reductions: expected two maximal sets at {%d,%d}", i, j)
+				}
+			} else {
+				if !graph.IsMaximalIndependentSet(gad, both) {
+					return fmt.Errorf("reductions: {x,%d,%d} not maximal without edge", i, j)
+				}
+				if graph.IsMaximalIndependentSet(gad, []int{i, x}) {
+					return fmt.Errorf("reductions: {x,%d} wrongly maximal at {%d,%d}", i, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EOBGadgetInput describes the Theorem 8 setting: an even-odd-bipartite
+// graph G on node set {v_2, ..., v_n} with n odd. We represent it as a
+// graph H on m = n−1 nodes 1..m; node k of H plays v_{k+1} (the parity flip
+// preserves even-odd-bipartiteness).
+type EOBGadgetInput struct {
+	H *graph.Graph // m = n-1 nodes; EOB with respect to its own labels
+	N int          // the paper's n = m+1 (odd)
+}
+
+// NewEOBGadgetInput validates and wraps H.
+func NewEOBGadgetInput(h *graph.Graph) (EOBGadgetInput, error) {
+	if h.N()%2 != 0 {
+		return EOBGadgetInput{}, fmt.Errorf("reductions: H must have an even node count (paper's n odd), got %d", h.N())
+	}
+	if !graph.IsEvenOddBipartite(h) {
+		return EOBGadgetInput{}, fmt.Errorf("reductions: H must be even-odd-bipartite")
+	}
+	return EOBGadgetInput{H: h, N: h.N() + 1}, nil
+}
+
+// Gadget builds G_i of Figure 2 for odd i (3 ≤ i ≤ n), a graph on 2n−1
+// nodes: G's edges (shifted up by one), plus
+//
+//	v_1      – v_{i+n−2}
+//	v_j      – v_{j+n−2}   for every odd  j, 3 ≤ j ≤ n
+//	v_j      – v_{j+n}     for every even j, 2 ≤ j ≤ n−1
+//
+// The construction keeps the graph even-odd-bipartite, and node v_j (j
+// even) lies in layer 3 of the BFS tree rooted at v_1 iff {v_i, v_j} ∈ E.
+func (in EOBGadgetInput) Gadget(i int) *graph.Graph {
+	n := in.N
+	if i < 3 || i > n || i%2 == 0 {
+		panic(fmt.Sprintf("reductions: gadget index i=%d must be odd in 3..%d", i, n))
+	}
+	g := graph.New(2*n - 1)
+	for _, e := range in.H.Edges() {
+		g.AddEdge(e[0]+1, e[1]+1) // H node k plays v_{k+1}
+	}
+	g.AddEdge(1, i+n-2)
+	for j := 3; j <= n; j += 2 {
+		g.AddEdge(j, j+n-2)
+	}
+	for j := 2; j <= n-1; j += 2 {
+		g.AddEdge(j, j+n)
+	}
+	return g
+}
+
+// Verify checks the Figure 2 property for every odd i: G_i is even-odd-
+// bipartite, and the distance-3 set from v_1 is exactly {v_j : {v_i,v_j} ∈
+// E(G)} — equivalently {k+1 : k ∈ N_H(i−1)}.
+func (in EOBGadgetInput) Verify() error {
+	n := in.N
+	for i := 3; i <= n; i += 2 {
+		g := in.Gadget(i)
+		if !graph.IsEvenOddBipartite(g) {
+			return fmt.Errorf("reductions: G_%d is not even-odd-bipartite", i)
+		}
+		dist := graph.Distances(g, 1)
+		for j := 2; j <= n; j++ {
+			want := in.H.HasEdge(i-1, j-1) // v_i–v_j in paper labels
+			got := dist[j] == 3
+			if got != want {
+				return fmt.Errorf("reductions: G_%d: v_%d at distance %d, edge {v_%d,v_%d}=%v",
+					i, j, dist[j], i, j, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package reductions
+
+import (
+	"repro/internal/core"
+)
+
+// SimSyncAsAsync is the executable Lemma 4 inclusion PSIMSYNC ⊆ PASYNC:
+// "we can translate a SIMSYNC protocol into an ASYNC one if we fix an
+// order (for instance v1..vn) and use this order for a sequential
+// activation of the nodes."
+//
+// Node v_i activates only when exactly i−1 messages are on the board; the
+// engine then freezes its message immediately (ASYNC), but by induction
+// v_1..v_{i−1} have already written in order, so the frozen message equals
+// the one the inner SIMSYNC protocol would compose at write time under the
+// adversary schedule (v_1, ..., v_n). The adversary never has more than
+// one eligible candidate, so its power is fully neutralized — at the cost
+// of serializing the activations.
+type SimSyncAsAsync struct {
+	Inner core.Protocol
+}
+
+// Name implements core.Protocol.
+func (p SimSyncAsAsync) Name() string { return "lemma4-async(" + p.Inner.Name() + ")" }
+
+// Model implements core.Protocol: the translated protocol is ASYNC.
+func (SimSyncAsAsync) Model() core.Model { return core.Async }
+
+// MaxMessageBits implements core.Protocol: unchanged.
+func (p SimSyncAsAsync) MaxMessageBits(n int) int { return p.Inner.MaxMessageBits(n) }
+
+// Activate implements core.Protocol: sequential activation in ID order.
+func (p SimSyncAsAsync) Activate(v core.NodeView, b *core.Board) bool {
+	return b.Len() == v.ID-1
+}
+
+// Compose implements core.Protocol: the inner composition, evaluated on
+// the prefix board v_1..v_{ID−1} — exactly what the inner protocol would
+// see when chosen ID-th by the SIMSYNC adversary.
+func (p SimSyncAsAsync) Compose(v core.NodeView, b *core.Board) core.Message {
+	return p.Inner.Compose(v, b)
+}
+
+// Output implements core.Protocol.
+func (p SimSyncAsAsync) Output(n int, b *core.Board) (any, error) {
+	return p.Inner.Output(n, b)
+}
+
+var _ core.Protocol = SimSyncAsAsync{}

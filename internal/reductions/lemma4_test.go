@@ -1,0 +1,116 @@
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/protocols/mis"
+	"repro/internal/protocols/twocliques"
+)
+
+func TestLemma4MISTranslation(t *testing.T) {
+	// The translated MIS protocol runs under ASYNC semantics and produces,
+	// under EVERY adversary, exactly the inner protocol's output for the
+	// schedule (v1..vn).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomGNP(10, 0.3, rng)
+		inner := mis.Protocol{Root: 1}
+		want := engine.Run(inner, g, adversary.MinID{}, engine.Options{})
+		if want.Status != core.Success {
+			t.Fatal(want.Err)
+		}
+		translated := SimSyncAsAsync{Inner: inner}
+		for _, adv := range adversary.Standard(2, 83) {
+			got := engine.Run(translated, g, adv, engine.Options{})
+			if got.Status != core.Success {
+				t.Fatalf("trial %d adv %s: %v (%v)", trial, adv.Name(), got.Status, got.Err)
+			}
+			if !reflect.DeepEqual(got.Output, want.Output) {
+				t.Fatalf("trial %d adv %s: %v, want fixed-order output %v",
+					trial, adv.Name(), got.Output, want.Output)
+			}
+			if !graph.IsMaximalIndependentSet(g, got.Output.([]int)) {
+				t.Fatalf("trial %d: invalid MIS", trial)
+			}
+		}
+	}
+}
+
+func TestLemma4NeutralizesTheAdversary(t *testing.T) {
+	// The translated protocol's schedule spectrum is a singleton: the
+	// adversary has exactly one candidate each round.
+	g := graph.Path(5)
+	s, err := engine.OutputSpectrum(SimSyncAsAsync{Inner: mis.Protocol{Root: 1}}, g,
+		engine.Options{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schedules != 1 {
+		t.Errorf("schedules = %d, want 1 (sequential activation)", s.Schedules)
+	}
+	if len(s.Outputs) != 1 || s.Deadlocks+s.Failures > 0 {
+		t.Errorf("spectrum: %+v", s)
+	}
+	// The raw SIMSYNC protocol, by contrast, can be steered.
+	raw, err := engine.OutputSpectrum(mis.Protocol{Root: 1}, g, engine.Options{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Outputs) < 2 {
+		t.Errorf("raw spectrum should be adversary dependent, got %v", raw.DistinctOutputs())
+	}
+}
+
+func TestLemma4TwoCliquesTranslation(t *testing.T) {
+	inner := twocliques.Protocol{}
+	translated := SimSyncAsAsync{Inner: inner}
+	yes := graph.TwoCliques(4, nil)
+	no := graph.TwoCliquesSwapped(4, nil)
+	for _, adv := range adversary.Standard(2, 89) {
+		ry := engine.Run(translated, yes, adv, engine.Options{})
+		if ry.Status != core.Success || !ry.Output.(twocliques.Output).TwoCliques {
+			t.Fatalf("adv %s: yes-instance mishandled: %v", adv.Name(), ry.Err)
+		}
+		rn := engine.Run(translated, no, adv, engine.Options{})
+		if rn.Status != core.Success || rn.Output.(twocliques.Output).TwoCliques {
+			t.Fatalf("adv %s: no-instance mishandled", adv.Name())
+		}
+	}
+}
+
+func TestLemma4BudgetUnchanged(t *testing.T) {
+	inner := mis.Protocol{Root: 2}
+	tr := SimSyncAsAsync{Inner: inner}
+	for _, n := range []int{4, 100, 1000} {
+		if tr.MaxMessageBits(n) != inner.MaxMessageBits(n) {
+			t.Errorf("n=%d: budget changed", n)
+		}
+	}
+	if tr.Model() != core.Async {
+		t.Error("translated model must be ASYNC")
+	}
+	if tr.Name() == "" || tr.Name() == inner.Name() {
+		t.Error("name should wrap the inner protocol's")
+	}
+}
+
+func TestLemma4StubbornAdversaryIrrelevant(t *testing.T) {
+	// Even an adversary that wants to delay node 1 forever cannot: node 1
+	// is always the only candidate in round 1.
+	g := graph.Cycle(6)
+	adv := adversary.Stubborn{Victim: 1, Inner: adversary.MaxID{}}
+	res := engine.Run(SimSyncAsAsync{Inner: mis.Protocol{Root: 1}}, g, adv, engine.Options{})
+	if res.Status != core.Success {
+		t.Fatalf("%v (%v)", res.Status, res.Err)
+	}
+	if got := fmt.Sprint(res.WriterOrder()); got != "[1 2 3 4 5 6]" {
+		t.Errorf("order %s, want strictly sequential", got)
+	}
+}

@@ -1,0 +1,421 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocols/bfs"
+)
+
+// Message-within-message encoding shared by the prime protocols: a varint
+// bit length followed by the raw bits.
+
+func writeMsg(w *bitio.Writer, m core.Message) {
+	w.WriteUvarint(uint64(m.Bits))
+	r := bitio.NewReader(m.Data, m.Bits)
+	for i := 0; i < m.Bits; i++ {
+		b, _ := r.ReadBit()
+		w.WriteBit(b)
+	}
+}
+
+func readMsg(r *bitio.Reader) (core.Message, error) {
+	bits, err := r.ReadUvarint()
+	if err != nil {
+		return core.Message{}, err
+	}
+	var w bitio.Writer
+	for i := uint64(0); i < bits; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return core.Message{}, err
+		}
+		w.WriteBit(b)
+	}
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}, nil
+}
+
+func msgOverhead(bits int) int {
+	groups := 1
+	for v := uint64(bits) >> 4; v != 0; v >>= 4 {
+		groups++
+	}
+	return 5 * groups
+}
+
+// TrianglePrime is the Theorem 3 transformation: given any SIMASYNC
+// protocol Inner deciding TRIANGLE (Output must return bool), TrianglePrime
+// is a SIMASYNC protocol solving BUILD on triangle-free graphs with message
+// size 2·f(n+1) + O(log n). Node v_i writes (i, m'_i, m”_i): Inner's
+// message for neighborhood N(i) and for N(i) ∪ {v_{n+1}}. The output
+// function replays Inner's decision on the assembled whiteboard of
+// G'_{s,t} for every pair and rebuilds the graph.
+type TrianglePrime struct {
+	Inner core.Protocol
+}
+
+// Name implements core.Protocol.
+func (p TrianglePrime) Name() string { return "triangle-prime(" + p.Inner.Name() + ")" }
+
+// Model implements core.Protocol.
+func (TrianglePrime) Model() core.Model { return core.SimAsync }
+
+// MaxMessageBits implements core.Protocol: 2·f(n+1) + log n + framing.
+func (p TrianglePrime) MaxMessageBits(n int) int {
+	f := p.Inner.MaxMessageBits(n + 1)
+	return bitio.WidthID(n) + 2*(f+msgOverhead(f))
+}
+
+// Activate implements core.Protocol.
+func (TrianglePrime) Activate(core.NodeView, *core.Board) bool { return true }
+
+// Compose implements core.Protocol.
+func (p TrianglePrime) Compose(v core.NodeView, _ *core.Board) core.Message {
+	empty := core.NewBoard()
+	base := core.NodeView{ID: v.ID, Neighbors: v.Neighbors, N: v.N + 1}
+	with := core.NodeView{
+		ID:        v.ID,
+		Neighbors: append(append([]int(nil), v.Neighbors...), v.N+1),
+		N:         v.N + 1,
+	}
+	m1 := p.Inner.Compose(base, empty)
+	m2 := p.Inner.Compose(with, empty)
+	var w bitio.Writer
+	w.WriteUint(uint64(v.ID), bitio.WidthID(v.N))
+	writeMsg(&w, m1)
+	writeMsg(&w, m2)
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}
+}
+
+// Output implements core.Protocol: the reconstructed graph (*graph.Graph).
+// Correct whenever the input graph is triangle-free and Inner is a correct
+// SIMASYNC triangle decider on n+1 nodes.
+func (p TrianglePrime) Output(n int, b *core.Board) (any, error) {
+	prime := make([]core.Message, n+1)
+	doublePrime := make([]core.Message, n+1)
+	seen := make([]bool, n+1)
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		r := bitio.NewReader(m.Data, m.Bits)
+		id, err := r.ReadUint(bitio.WidthID(n))
+		if err != nil {
+			return nil, fmt.Errorf("triangle-prime: message %d: %w", i, err)
+		}
+		v := int(id)
+		if v < 1 || v > n || seen[v] {
+			return nil, fmt.Errorf("triangle-prime: bad or duplicate id %d", v)
+		}
+		seen[v] = true
+		if prime[v], err = readMsg(r); err != nil {
+			return nil, fmt.Errorf("triangle-prime: message %d: %w", i, err)
+		}
+		if doublePrime[v], err = readMsg(r); err != nil {
+			return nil, fmt.Errorf("triangle-prime: message %d: %w", i, err)
+		}
+	}
+	g := graph.New(n)
+	for s := 1; s <= n; s++ {
+		for t := s + 1; t <= n; t++ {
+			inner := core.NewBoard()
+			for i := 1; i <= n; i++ {
+				if i == s || i == t {
+					inner.Append(doublePrime[i])
+				} else {
+					inner.Append(prime[i])
+				}
+			}
+			xView := core.NodeView{ID: n + 1, Neighbors: []int{s, t}, N: n + 1}
+			inner.Append(p.Inner.Compose(xView, core.NewBoard()))
+			out, err := p.Inner.Output(n+1, inner)
+			if err != nil {
+				return nil, fmt.Errorf("triangle-prime: inner output at {%d,%d}: %w", s, t, err)
+			}
+			hasTriangle, ok := out.(bool)
+			if !ok {
+				return nil, fmt.Errorf("triangle-prime: inner output is %T, want bool", out)
+			}
+			if hasTriangle {
+				g.AddEdge(s, t)
+			}
+		}
+	}
+	return g, nil
+}
+
+// MISPrime is the Theorem 6 transformation: given any SIMASYNC protocol
+// Inner solving rooted MIS with root x = n+1 (Output must return []int),
+// MISPrime solves BUILD on arbitrary graphs with message size 2·f(n+1) +
+// O(log n). Node v_k writes (k, m_k, m'_k): Inner's message when x is not a
+// neighbor (k ∈ {i,j}) and when it is.
+type MISPrime struct {
+	Inner core.Protocol
+}
+
+// Name implements core.Protocol.
+func (p MISPrime) Name() string { return "mis-prime(" + p.Inner.Name() + ")" }
+
+// Model implements core.Protocol.
+func (MISPrime) Model() core.Model { return core.SimAsync }
+
+// MaxMessageBits implements core.Protocol.
+func (p MISPrime) MaxMessageBits(n int) int {
+	f := p.Inner.MaxMessageBits(n + 1)
+	return bitio.WidthID(n) + 2*(f+msgOverhead(f))
+}
+
+// Activate implements core.Protocol.
+func (MISPrime) Activate(core.NodeView, *core.Board) bool { return true }
+
+// Compose implements core.Protocol.
+func (p MISPrime) Compose(v core.NodeView, _ *core.Board) core.Message {
+	empty := core.NewBoard()
+	without := core.NodeView{ID: v.ID, Neighbors: v.Neighbors, N: v.N + 1}
+	with := core.NodeView{
+		ID:        v.ID,
+		Neighbors: append(append([]int(nil), v.Neighbors...), v.N+1),
+		N:         v.N + 1,
+	}
+	mk := p.Inner.Compose(without, empty)
+	mkPrime := p.Inner.Compose(with, empty)
+	var w bitio.Writer
+	w.WriteUint(uint64(v.ID), bitio.WidthID(v.N))
+	writeMsg(&w, mk)
+	writeMsg(&w, mkPrime)
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}
+}
+
+// Output implements core.Protocol: the reconstructed graph. For every pair
+// i<j it assembles the whiteboard Inner would produce on G^(x)_{i,j} and
+// reads whether the returned set contains both v_i and v_j ({v_i,v_j} ∉ E)
+// or not ({v_i,v_j} ∈ E).
+func (p MISPrime) Output(n int, b *core.Board) (any, error) {
+	mk := make([]core.Message, n+1)
+	mkPrime := make([]core.Message, n+1)
+	seen := make([]bool, n+1)
+	for i := 0; i < b.Len(); i++ {
+		m := b.At(i)
+		r := bitio.NewReader(m.Data, m.Bits)
+		id, err := r.ReadUint(bitio.WidthID(n))
+		if err != nil {
+			return nil, fmt.Errorf("mis-prime: message %d: %w", i, err)
+		}
+		v := int(id)
+		if v < 1 || v > n || seen[v] {
+			return nil, fmt.Errorf("mis-prime: bad or duplicate id %d", v)
+		}
+		seen[v] = true
+		if mk[v], err = readMsg(r); err != nil {
+			return nil, err
+		}
+		if mkPrime[v], err = readMsg(r); err != nil {
+			return nil, err
+		}
+	}
+	g := graph.New(n)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			inner := core.NewBoard()
+			for k := 1; k <= n; k++ {
+				if k == i || k == j {
+					inner.Append(mk[k])
+				} else {
+					inner.Append(mkPrime[k])
+				}
+			}
+			var xNbrs []int
+			for k := 1; k <= n; k++ {
+				if k != i && k != j {
+					xNbrs = append(xNbrs, k)
+				}
+			}
+			xView := core.NodeView{ID: n + 1, Neighbors: xNbrs, N: n + 1}
+			inner.Append(p.Inner.Compose(xView, core.NewBoard()))
+			out, err := p.Inner.Output(n+1, inner)
+			if err != nil {
+				return nil, fmt.Errorf("mis-prime: inner output at {%d,%d}: %w", i, j, err)
+			}
+			set, ok := out.([]int)
+			if !ok {
+				return nil, fmt.Errorf("mis-prime: inner output is %T, want []int", out)
+			}
+			hasI, hasJ := false, false
+			for _, v := range set {
+				hasI = hasI || v == i
+				hasJ = hasJ || v == j
+			}
+			if !(hasI && hasJ) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// EOBPrime is the Theorem 8 transformation: given a SIMSYNC protocol Inner
+// solving EOB-BFS on 2n−1 nodes (Output must return bfs.Forest), EOBPrime
+// is a SIMSYNC protocol solving BUILD on even-odd-bipartite graphs H on
+// m = n−1 nodes (node k of H plays the paper's v_{k+1}).
+//
+// When chosen, node v_k re-simulates Inner's run on the gadget graphs: it
+// decodes the inner messages already on the whiteboard (identical in every
+// G_i) and composes Inner's message for its own i-independent gadget
+// neighborhood. The output function extends the simulation with the gadget
+// nodes v_1, v_{n+1}..v_{2n−1} for each odd i and reads N(v_i) off the
+// third BFS layer (Figure 2).
+type EOBPrime struct {
+	Inner core.Protocol
+}
+
+// Name implements core.Protocol.
+func (p EOBPrime) Name() string { return "eob-prime(" + p.Inner.Name() + ")" }
+
+// Model implements core.Protocol: requires write-time composition.
+func (EOBPrime) Model() core.Model { return core.SimSync }
+
+// MaxMessageBits implements core.Protocol: f(2n−1) + O(log n).
+func (p EOBPrime) MaxMessageBits(m int) int {
+	n := m + 1
+	f := p.Inner.MaxMessageBits(2*n - 1)
+	return bitio.WidthID(m) + f + msgOverhead(f)
+}
+
+// Activate implements core.Protocol.
+func (EOBPrime) Activate(core.NodeView, *core.Board) bool { return true }
+
+// gadgetNeighbors returns the (sorted, i-independent) neighborhood in every
+// G_i of the paper node v_j, for j in 2..n, given H's neighbors of node
+// j−1. H neighbors shift up by one; the pendant partner is j+n−2 for odd j
+// and j+n for even j.
+func gadgetNeighbors(hNbrs []int, j, n int) []int {
+	out := make([]int, 0, len(hNbrs)+1)
+	partner := j + n - 2
+	if j%2 == 0 {
+		partner = j + n
+	}
+	placed := false
+	for _, u := range hNbrs {
+		if !placed && partner < u+1 {
+			out = append(out, partner)
+			placed = true
+		}
+		out = append(out, u+1)
+	}
+	if !placed {
+		out = append(out, partner)
+	}
+	return out
+}
+
+// innerBoardFromPrime decodes the inner messages written so far.
+func innerBoardFromPrime(b *core.Board, m int) (*core.Board, []int, error) {
+	inner := core.NewBoard()
+	var ids []int
+	for i := 0; i < b.Len(); i++ {
+		msg := b.At(i)
+		r := bitio.NewReader(msg.Data, msg.Bits)
+		id, err := r.ReadUint(bitio.WidthID(m))
+		if err != nil {
+			return nil, nil, fmt.Errorf("eob-prime: message %d: %w", i, err)
+		}
+		im, err := readMsg(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eob-prime: message %d: %w", i, err)
+		}
+		inner.Append(im)
+		ids = append(ids, int(id))
+	}
+	return inner, ids, nil
+}
+
+// Compose implements core.Protocol.
+func (p EOBPrime) Compose(v core.NodeView, b *core.Board) core.Message {
+	m := v.N
+	n := m + 1
+	inner, _, err := innerBoardFromPrime(b, m)
+	if err != nil {
+		return core.Message{}
+	}
+	j := v.ID + 1 // paper label
+	view := core.NodeView{ID: j, Neighbors: gadgetNeighbors(v.Neighbors, j, n), N: 2*n - 1}
+	im := p.Inner.Compose(view, inner)
+	var w bitio.Writer
+	w.WriteUint(uint64(v.ID), bitio.WidthID(m))
+	writeMsg(&w, im)
+	return core.Message{Data: w.Bytes(), Bits: w.Bits()}
+}
+
+// Output implements core.Protocol: the reconstructed H (*graph.Graph).
+func (p EOBPrime) Output(m int, b *core.Board) (any, error) {
+	if m%2 != 0 {
+		return nil, fmt.Errorf("eob-prime: H must have an even node count, got %d", m)
+	}
+	n := m + 1
+	inner, ids, err := innerBoardFromPrime(b, m)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, m+1)
+	for _, id := range ids {
+		if id < 1 || id > m || seen[id] {
+			return nil, fmt.Errorf("eob-prime: bad or duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	h := graph.New(m)
+	for i := 3; i <= n; i += 2 {
+		board := inner.Clone()
+		// Gadget pendants v_{n+1}..v_{2n−1}, then the root v_1, in a fixed
+		// order; Inner is SIMSYNC so any order is a legal schedule.
+		for q := n + 1; q <= 2*n-1; q++ {
+			var nbrs []int
+			// v_q is the partner of v_j with j = q−n+2 (odd) or q−n (even).
+			if jOdd := q - n + 2; jOdd >= 3 && jOdd <= n && jOdd%2 == 1 {
+				nbrs = append(nbrs, jOdd)
+				if jOdd == i {
+					nbrs = []int{1, jOdd}
+				}
+			} else if jEven := q - n; jEven >= 2 && jEven <= n-1 && jEven%2 == 0 {
+				nbrs = append(nbrs, jEven)
+			}
+			view := core.NodeView{ID: q, Neighbors: nbrs, N: 2*n - 1}
+			board.Append(p.Inner.Compose(view, board))
+		}
+		rootView := core.NodeView{ID: 1, Neighbors: []int{i + n - 2}, N: 2*n - 1}
+		board.Append(p.Inner.Compose(rootView, board))
+
+		out, err := p.Inner.Output(2*n-1, board)
+		if err != nil {
+			return nil, fmt.Errorf("eob-prime: inner output at i=%d: %w", i, err)
+		}
+		forest, ok := out.(bfs.Forest)
+		if !ok {
+			return nil, fmt.Errorf("eob-prime: inner output is %T, want bfs.Forest", out)
+		}
+		if !forest.Valid {
+			return nil, fmt.Errorf("eob-prime: inner rejected gadget graph G_%d", i)
+		}
+		for j := 2; j <= n; j++ {
+			if forest.Layer[j] == 3 && rootOf(forest, j) == 1 {
+				if !h.HasEdge(i-1, j-1) {
+					h.AddEdge(i-1, j-1)
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+func rootOf(f bfs.Forest, v int) int {
+	for f.Parent[v] != 0 {
+		v = f.Parent[v]
+	}
+	return v
+}
+
+var (
+	_ core.Protocol = TrianglePrime{}
+	_ core.Protocol = MISPrime{}
+	_ core.Protocol = EOBPrime{}
+)

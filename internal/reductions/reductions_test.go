@@ -1,0 +1,260 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/protocols/bfs"
+)
+
+func TestTriangleGadgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*graph.Graph{
+		graph.RandomBipartite(8, 0.5, rng),
+		graph.RandomEOB(9, 0.4, rng),
+		graph.Cycle(6),
+		graph.Path(5),
+		graph.New(4),
+		graph.CompleteBipartite(3, 4),
+	}
+	for _, g := range cases {
+		if err := VerifyTriangleGadget(g); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestTriangleGadgetRejectsTriangleInputs(t *testing.T) {
+	if err := VerifyTriangleGadget(graph.Complete(3)); err == nil {
+		t.Error("triangle input must be rejected")
+	}
+}
+
+func TestMISGadgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []*graph.Graph{
+		graph.RandomGNP(7, 0.4, rng),
+		graph.Complete(5),
+		graph.New(4),
+		graph.Cycle(6),
+	}
+	for _, g := range cases {
+		if err := VerifyMISGadget(g); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestEOBGadgetPropertyFigure2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		h := graph.RandomEOB(6+2*(trial%3), 0.5, rng)
+		in, err := NewEOBGadgetInput(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Verify(); err != nil {
+			t.Errorf("trial %d (%v): %v", trial, h, err)
+		}
+	}
+}
+
+func TestEOBGadgetInputValidation(t *testing.T) {
+	if _, err := NewEOBGadgetInput(graph.New(5)); err == nil {
+		t.Error("odd node count accepted")
+	}
+	if _, err := NewEOBGadgetInput(graph.FromEdges(4, [][2]int{{1, 3}})); err == nil {
+		t.Error("non-EOB graph accepted")
+	}
+}
+
+func TestEOBGadgetMatchesFigure2Example(t *testing.T) {
+	// The figure's n=7: G on {v2..v7}. G_5 adds edges 1-10, 3-8, 5-10,
+	// 7-12, 2-9, 4-11, 6-13.
+	h := graph.New(6) // nodes 1..6 play v2..v7
+	in, err := NewEOBGadgetInput(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5 := in.Gadget(5)
+	wantEdges := [][2]int{{1, 10}, {3, 8}, {5, 10}, {7, 12}, {2, 9}, {4, 11}, {6, 13}}
+	if g5.M() != len(wantEdges) {
+		t.Fatalf("G_5 has %d edges, want %d: %v", g5.M(), len(wantEdges), g5)
+	}
+	for _, e := range wantEdges {
+		if !g5.HasEdge(e[0], e[1]) {
+			t.Errorf("G_5 missing edge %v", e)
+		}
+	}
+}
+
+func TestOracleTriangle(t *testing.T) {
+	for _, c := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{graph.Complete(4), true},
+		{graph.Cycle(5), false},
+		{graph.CompleteBipartite(3, 3), false},
+		{graph.FromEdges(4, [][2]int{{1, 2}, {2, 3}, {1, 3}}), true},
+	} {
+		res := engine.Run(OracleTriangle{}, c.g, adversary.Rotor{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("%v: %v", c.g, res.Err)
+		}
+		if res.Output.(bool) != c.want {
+			t.Errorf("%v: triangle=%v, want %v", c.g, res.Output, c.want)
+		}
+	}
+}
+
+func TestOracleMIS(t *testing.T) {
+	g := graph.Cycle(6)
+	res := engine.Run(OracleMIS{Root: 2}, g, adversary.MinID{}, engine.Options{})
+	if res.Status != core.Success {
+		t.Fatal(res.Err)
+	}
+	set := res.Output.([]int)
+	if !graph.IsMaximalIndependentSet(g, set) {
+		t.Fatalf("%v not a MIS", set)
+	}
+	has2 := false
+	for _, v := range set {
+		has2 = has2 || v == 2
+	}
+	if !has2 {
+		t.Fatalf("root missing from %v", set)
+	}
+}
+
+func TestOracleBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomGNP(10, 0.25, rng)
+	res := engine.Run(OracleBFS{}, g, adversary.MaxID{}, engine.Options{})
+	if res.Status != core.Success {
+		t.Fatal(res.Err)
+	}
+	f := res.Output.(bfs.Forest)
+	if !f.Valid {
+		t.Fatal("oracle marked valid input invalid")
+	}
+	if msg := graph.ValidateBFSForest(g, f.Parent, f.Layer); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestTrianglePrimeRebuildsBipartiteGraphs(t *testing.T) {
+	// Theorem 3 end-to-end: TRIANGLE decider ⇒ BUILD on triangle-free
+	// graphs, run through the engine as a real SIMASYNC protocol.
+	rng := rand.New(rand.NewSource(5))
+	p := TrianglePrime{Inner: OracleTriangle{}}
+	cases := []*graph.Graph{
+		graph.RandomBipartite(9, 0.5, rng),
+		graph.RandomEOB(8, 0.4, rng),
+		graph.Cycle(8),
+		graph.New(5),
+	}
+	for _, g := range cases {
+		for _, adv := range adversary.Standard(1, 61) {
+			res := engine.Run(p, g, adv, engine.Options{})
+			if res.Status != core.Success {
+				t.Fatalf("%v adv %s: %v (%v)", g, adv.Name(), res.Status, res.Err)
+			}
+			if !res.Output.(*graph.Graph).Equal(g) {
+				t.Errorf("%v adv %s: wrong reconstruction", g, adv.Name())
+			}
+		}
+	}
+}
+
+func TestMISPrimeRebuildsArbitraryGraphs(t *testing.T) {
+	// Theorem 6 end-to-end: rooted-MIS protocol ⇒ BUILD on all graphs.
+	rng := rand.New(rand.NewSource(6))
+	cases := []*graph.Graph{
+		graph.RandomGNP(8, 0.4, rng),
+		graph.Complete(6),
+		graph.Cycle(7),
+		graph.New(4),
+	}
+	for _, g := range cases {
+		p := MISPrime{Inner: OracleMIS{Root: g.N() + 1}}
+		res := engine.Run(p, g, adversary.Rotor{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("%v: %v (%v)", g, res.Status, res.Err)
+		}
+		if !res.Output.(*graph.Graph).Equal(g) {
+			t.Errorf("%v: wrong reconstruction", g)
+		}
+	}
+}
+
+func TestEOBPrimeRebuildsEOBGraphs(t *testing.T) {
+	// Theorem 8 end-to-end: EOB-BFS protocol ⇒ BUILD on EOB graphs,
+	// including the whiteboard re-simulation with gadget nodes.
+	rng := rand.New(rand.NewSource(7))
+	p := EOBPrime{Inner: OracleBFS{}}
+	for trial := 0; trial < 8; trial++ {
+		h := graph.RandomEOB(6+2*(trial%3), 0.45, rng)
+		for _, adv := range adversary.Standard(1, 67) {
+			res := engine.Run(p, h, adv, engine.Options{})
+			if res.Status != core.Success {
+				t.Fatalf("%v adv %s: %v (%v)", h, adv.Name(), res.Status, res.Err)
+			}
+			if !res.Output.(*graph.Graph).Equal(h) {
+				t.Errorf("%v adv %s: wrong reconstruction", h, adv.Name())
+			}
+		}
+	}
+}
+
+func TestEOBPrimeMessagesAreScheduleIndependentOfI(t *testing.T) {
+	// The crux of Theorem 8: the messages of v_2..v_n do not depend on i.
+	// EOBPrime writes each node's inner message once; if it depended on i
+	// the output could not re-simulate all G_i from one board. Reconstruct
+	// under several schedules and confirm agreement.
+	rng := rand.New(rand.NewSource(8))
+	h := graph.RandomEOB(8, 0.5, rng)
+	p := EOBPrime{Inner: OracleBFS{}}
+	var first *graph.Graph
+	for seed := int64(0); seed < 6; seed++ {
+		res := engine.Run(p, h, adversary.NewRandom(seed), engine.Options{})
+		if res.Status != core.Success {
+			t.Fatal(res.Err)
+		}
+		got := res.Output.(*graph.Graph)
+		if first == nil {
+			first = got
+		} else if !got.Equal(first) {
+			t.Fatal("reconstruction depends on schedule")
+		}
+	}
+	if !first.Equal(h) {
+		t.Fatal("wrong reconstruction")
+	}
+}
+
+func TestPrimeMessageSizeFormulas(t *testing.T) {
+	// Theorem 3's accounting: |A'| message ≤ 2 f(n+1) + O(log n).
+	n := 20
+	tri := TrianglePrime{Inner: OracleTriangle{}}
+	f := OracleTriangle{}.MaxMessageBits(n + 1)
+	if tri.MaxMessageBits(n) > 2*f+5+2*15 {
+		t.Errorf("TrianglePrime budget %d too large vs 2f=%d", tri.MaxMessageBits(n), 2*f)
+	}
+	eob := EOBPrime{Inner: OracleBFS{}}
+	fb := OracleBFS{}.MaxMessageBits(2*(n+1) - 1)
+	if eob.MaxMessageBits(n) > fb+5+15 {
+		t.Errorf("EOBPrime budget %d too large vs f=%d", eob.MaxMessageBits(n), fb)
+	}
+}
+
+func TestEOBPrimeRejectsOddM(t *testing.T) {
+	p := EOBPrime{Inner: OracleBFS{}}
+	if _, err := p.Output(5, core.NewBoard()); err == nil {
+		t.Error("odd m accepted")
+	}
+}

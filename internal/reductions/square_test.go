@@ -1,0 +1,138 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+func TestSquareGadgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*graph.Graph{
+		graph.RandomTree(9, rng),
+		graph.Cycle(5),
+		graph.Cycle(7),
+		graph.Path(6),
+		graph.New(4),
+		graph.Complete(3), // triangles are fine; squares are not
+		graph.PolarityGraph(2),
+	}
+	for _, g := range cases {
+		if err := VerifySquareGadget(g); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestSquareGadgetRejectsSquareInputs(t *testing.T) {
+	if err := VerifySquareGadget(graph.Cycle(4)); err == nil {
+		t.Error("C4 input must be rejected")
+	}
+}
+
+func TestOracleSquare(t *testing.T) {
+	for _, c := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{graph.Cycle(4), true},
+		{graph.Cycle(5), false},
+		{graph.Complete(4), true},
+		{graph.Complete(3), false},
+		{graph.CompleteBipartite(2, 2), true},
+		{graph.PolarityGraph(3), false},
+	} {
+		res := engine.Run(OracleSquare{}, c.g, adversary.Rotor{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("%v: %v", c.g, res.Err)
+		}
+		if res.Output.(bool) != c.want {
+			t.Errorf("%v: square=%v, want %v", c.g, res.Output, c.want)
+		}
+	}
+}
+
+func TestSquarePrimeRebuildsC4FreeGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := SquarePrime{Inner: OracleSquare{}}
+	cases := []*graph.Graph{
+		graph.RandomTree(8, rng),
+		graph.Cycle(7),
+		graph.PolarityGraph(2),
+		graph.New(5),
+	}
+	for _, g := range cases {
+		for _, adv := range adversary.Standard(1, 79) {
+			res := engine.Run(p, g, adv, engine.Options{})
+			if res.Status != core.Success {
+				t.Fatalf("%v adv %s: %v (%v)", g, adv.Name(), res.Status, res.Err)
+			}
+			if !res.Output.(*graph.Graph).Equal(g) {
+				t.Errorf("%v adv %s: wrong reconstruction", g, adv.Name())
+			}
+		}
+	}
+}
+
+func TestSquarePrimeOnPolaritySubgraphs(t *testing.T) {
+	// The counting family for the lower bound: random subgraphs of a
+	// polarity graph (all C4-free).
+	rng := rand.New(rand.NewSource(3))
+	base := graph.PolarityGraph(3) // 13 nodes
+	p := SquarePrime{Inner: OracleSquare{}}
+	for trial := 0; trial < 5; trial++ {
+		g := graph.New(base.N())
+		for _, e := range base.Edges() {
+			if rng.Intn(2) == 0 {
+				g.AddEdge(e[0], e[1])
+			}
+		}
+		if graph.HasSquare(g) {
+			t.Fatal("subgraph of C4-free graph has a square")
+		}
+		res := engine.Run(p, g, adversary.Rotor{}, engine.Options{})
+		if res.Status != core.Success {
+			t.Fatalf("trial %d: %v", trial, res.Err)
+		}
+		if !res.Output.(*graph.Graph).Equal(g) {
+			t.Fatalf("trial %d: wrong reconstruction", trial)
+		}
+	}
+}
+
+func TestSquarePrimeMessageAccounting(t *testing.T) {
+	n := 16
+	p := SquarePrime{Inner: OracleSquare{}}
+	f := OracleSquare{}.MaxMessageBits(n + 2)
+	if p.MaxMessageBits(n) > 3*f+5+3*15 {
+		t.Errorf("SquarePrime budget %d too large vs 3f=%d", p.MaxMessageBits(n), 3*f)
+	}
+}
+
+func TestAppendSorted(t *testing.T) {
+	cases := []struct {
+		s    []int
+		v    int
+		want []int
+	}{
+		{nil, 3, []int{3}},
+		{[]int{1, 2}, 3, []int{1, 2, 3}},
+		{[]int{2, 4}, 3, []int{2, 3, 4}},
+		{[]int{5, 9}, 1, []int{1, 5, 9}},
+	}
+	for _, c := range cases {
+		got := appendSorted(c.s, c.v)
+		if len(got) != len(c.want) {
+			t.Fatalf("appendSorted(%v,%d) = %v", c.s, c.v, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("appendSorted(%v,%d) = %v", c.s, c.v, got)
+			}
+		}
+	}
+}
