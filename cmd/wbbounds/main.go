@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/graph"
-	"repro/internal/protocols/buildforest"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -67,7 +67,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("Sanity (upper bound really is achievable): the Section 3.1 forest message")
 	fmt.Println("map (ID, degree, neighbor-ID sum) admits NO collision on all forests with n=6:")
-	col = bounds.FindCollision(buildforest.Protocol{},
+	col = bounds.FindCollision(registry.MustProtocol("build-forest", registry.Params{}),
 		func(fn func(*graph.Graph) bool) { graph.AllForests(6, fn) },
 		func(g *graph.Graph) string { return g.Key() })
 	fmt.Printf("  collision found: %v\n", col != nil)

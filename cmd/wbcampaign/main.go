@@ -1,0 +1,157 @@
+// wbcampaign runs a batch of whiteboard simulations — a campaign — from a
+// declarative spec: protocol set × graph family × size sweep × adversary
+// set × model override × seed range, expanded into a job matrix and
+// executed on a sharded worker pool with live progress. The report (JSON
+// and optionally CSV) aggregates per-cell outcome counts and round /
+// board-bit distributions, and is byte-identical for any worker count.
+//
+// Examples:
+//
+//	wbcampaign -spec examples/campaigns/smoke.json
+//	wbcampaign -protocols bfs,mis -graphs gnp,tree,cycle -sizes 8,16,32 \
+//	           -adversaries min,max -seeds 5 -out report.json -csv report.csv
+//	wbcampaign -spec examples/campaigns/models.json -workers 1   # reference run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON spec file; flags below are ignored when set (except -workers/-out/-csv/-quiet)")
+		protos   = flag.String("protocols", "bfs", "comma-separated protocols: "+registry.FlagHelp(registry.Protocols()))
+		graphs   = flag.String("graphs", "gnp", "comma-separated graphs: "+registry.FlagHelp(registry.Graphs()))
+		advs     = flag.String("adversaries", "min", "comma-separated adversaries: "+registry.FlagHelp(registry.Adversaries()))
+		sizes    = flag.String("sizes", "8,16", "comma-separated node counts")
+		models   = flag.String("models", "native", "comma-separated model overrides: native|SIMASYNC|SIMSYNC|ASYNC|SYNC")
+		seeds    = flag.Int("seeds", 1, "trials per cell")
+		baseSeed = flag.Int64("base-seed", 0, "base seed mixed into every derived job seed")
+		k        = flag.Int("k", 2, "degeneracy bound / MIS root / subgraph prefix length")
+		p        = flag.Float64("p", 0.3, "edge probability for random graphs")
+		workers  = flag.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
+		out      = flag.String("out", "", "JSON report path; empty = stdout")
+		csvPath  = flag.String("csv", "", "also write a CSV report here")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line and summary")
+	)
+	flag.Parse()
+
+	var spec campaign.Spec
+	if *specPath != "" {
+		var err error
+		spec, err = campaign.LoadSpec(*specPath)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		ns, err := parseSizes(*sizes)
+		if err != nil {
+			fail(err)
+		}
+		spec = campaign.Spec{
+			Protocols:   splitList(*protos),
+			Graphs:      splitList(*graphs),
+			Adversaries: splitList(*advs),
+			Models:      splitList(*models),
+			Sizes:       ns,
+			Seeds:       *seeds,
+			BaseSeed:    *baseSeed,
+			K:           *k,
+			P:           *p,
+		}
+	}
+
+	opts := campaign.Options{Workers: *workers}
+	if !*quiet {
+		opts.OnProgress = func(done, total int) {
+			if done == total || done%16 == 0 {
+				fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done, total)
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep, err := campaign.Run(spec, opts)
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, rep.Summary())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fail(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := rep.WriteCSV(f); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wbcampaign:", err)
+	os.Exit(1)
+}
+
+// splitList splits a comma-separated flag, but keeps colon-arguments with
+// embedded commas intact: "min,scripted:3,1,2" would be ambiguous, so list
+// entries that open a colon-argument consume the following numeric items
+// ("scripted:3,1,2" stays one adversary).
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	var out []string
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// A purely numeric item continues the previous entry's colon-argument.
+		if len(out) > 0 && strings.Contains(out[len(out)-1], ":") {
+			if _, err := strconv.Atoi(part); err == nil {
+				out[len(out)-1] += "," + part
+				continue
+			}
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -18,11 +18,11 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/reductions"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -41,18 +41,18 @@ func main() {
 }
 
 func squareGadget(rng *rand.Rand) {
-	g := graph.RandomTree(9, rng)
+	g := registry.MustGraph("tree", registry.Params{N: 9}, rng)
 	if err := reductions.VerifySquareGadget(g); err != nil {
 		fmt.Println("  VERIFY FAILED:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("  verified: all %d pairs on %v\n", 9*8/2, g)
 
-	pol := graph.PolarityGraph(3)
+	pol := registry.MustGraph("polarity", registry.Params{N: 13}, nil) // ER_q for the largest prime q with q²+q+1 ≤ 13, i.e. q=3
 	fmt.Printf("  counting family: polarity graph ER_3 — n=%d, m=%d, C4-free=%v\n",
 		pol.N(), pol.M(), !graph.HasSquare(pol))
 	p := reductions.SquarePrime{Inner: reductions.OracleSquare{}}
-	res := engine.Run(p, g, adversary.Rotor{}, engine.Options{})
+	res := engine.Run(p, g, registry.MustAdversary("rotor", registry.Params{}), engine.Options{})
 	if res.Status != core.Success {
 		fmt.Println("  REDUCTION RUN FAILED:", res.Err)
 		os.Exit(1)
@@ -74,7 +74,7 @@ func figure1(rng *rand.Rand) {
 	fmt.Printf("  G'_{2,7} adds node 8 with edges 8-2, 8-7: triangle=%v, edge {2,7}=%v\n",
 		graph.HasTriangle(gad), g.HasEdge(2, 7))
 
-	bip := graph.RandomBipartite(10, 0.5, rng)
+	bip := registry.MustGraph("bipartite", registry.Params{N: 10, P: 0.5}, rng)
 	if err := reductions.VerifyTriangleGadget(bip); err != nil {
 		fmt.Println("  VERIFY FAILED:", err)
 		os.Exit(1)
@@ -82,7 +82,7 @@ func figure1(rng *rand.Rand) {
 	fmt.Printf("  verified: all %d pairs on random bipartite %v\n", 10*9/2, bip)
 
 	p := reductions.TrianglePrime{Inner: reductions.OracleTriangle{}}
-	res := engine.Run(p, bip, adversary.Rotor{}, engine.Options{})
+	res := engine.Run(p, bip, registry.MustAdversary("rotor", registry.Params{}), engine.Options{})
 	if res.Status != core.Success {
 		fmt.Println("  REDUCTION RUN FAILED:", res.Err)
 		os.Exit(1)
@@ -112,7 +112,7 @@ func figure2(rng *rand.Rand) {
 	}
 	fmt.Println("  verified: layer-3 membership ⇔ adjacency to v_i, for every odd i")
 
-	big := graph.RandomEOB(10, 0.45, rng)
+	big := registry.MustGraph("eob", registry.Params{N: 10, P: 0.45}, rng)
 	inBig, err := reductions.NewEOBGadgetInput(big)
 	if err != nil {
 		fmt.Println("  BAD INPUT:", err)
@@ -123,7 +123,7 @@ func figure2(rng *rand.Rand) {
 		os.Exit(1)
 	}
 	p := reductions.EOBPrime{Inner: reductions.OracleBFS{}}
-	res := engine.Run(p, big, adversary.NewRandom(5), engine.Options{})
+	res := engine.Run(p, big, registry.MustAdversary("random", registry.Params{Seed: 5}), engine.Options{})
 	if res.Status != core.Success {
 		fmt.Println("  REDUCTION RUN FAILED:", res.Err)
 		os.Exit(1)

@@ -2,22 +2,21 @@
 // runs: each strict separation is shown operationally (the protocol works
 // in its model, and the same problem breaks one level down), together with
 // Theorem 9's message-size orthogonality and the Open Problem 3 deadlock
-// witness.
+// witness. Protocols, graphs and adversaries are resolved by name through
+// internal/registry.
 package main
 
 import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/adversary"
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/protocols/bfs"
-	"repro/internal/protocols/mis"
 	"repro/internal/protocols/randcliques"
-	"repro/internal/protocols/subgraphf"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -34,15 +33,16 @@ func main() {
 
 func separationMIS() {
 	fmt.Println("── PSIMASYNC ⊊ PSIMSYNC (Theorems 5+6, witness: rooted MIS) ──")
-	g := graph.Path(5)
-	p := mis.Protocol{Root: 1}
+	g := registry.MustGraph("path", registry.Params{N: 5}, nil)
+	p := registry.MustProtocol("mis", registry.Params{K: 1, N: 5})
 
-	res := engine.Run(p, g, adversary.MinID{}, engine.Options{})
+	res := engine.Run(p, g, registry.MustAdversary("min", registry.Params{}), engine.Options{})
 	set := res.Output.([]int)
 	fmt.Printf("  SIMSYNC native:   %v → MIS %v, valid=%v\n",
 		res.Status, set, graph.IsMaximalIndependentSet(g, set))
 
-	frozen := engine.Run(p, g, adversary.MinID{}, engine.Options{Model: engine.ModelPtr(core.SimAsync)})
+	frozen := engine.Run(p, g, registry.MustAdversary("min", registry.Params{}),
+		engine.Options{Model: engine.ModelPtr(core.SimAsync)})
 	fset := frozen.Output.([]int)
 	fmt.Printf("  SIMASYNC frozen:  %v → set %v, independent=%v (greedy rule broken without board feedback)\n",
 		frozen.Status, fset, graph.IsIndependentSet(g, fset))
@@ -63,8 +63,9 @@ func separationMIS() {
 func separationEOBBFS() {
 	fmt.Println("── PSIMSYNC ⊊ PASYNC (Theorems 7+8, witness: EOB-BFS) ──")
 	rng := rand.New(rand.NewSource(3))
-	g := graph.RandomEOB(12, 0.35, rng)
-	res := engine.Run(bfs.New(bfs.EOB), g, adversary.NewRandom(7), engine.Options{})
+	g := registry.MustGraph("eob", registry.Params{N: 12, P: 0.35}, rng)
+	res := engine.Run(registry.MustProtocol("eob-bfs", registry.Params{}), g,
+		registry.MustAdversary("random", registry.Params{Seed: 7}), engine.Options{})
 	f := res.Output.(bfs.Forest)
 	ok := graph.ValidateBFSForest(g, f.Parent, f.Layer) == ""
 	fmt.Printf("  ASYNC native:     %v on %v → canonical BFS forest=%v\n", res.Status, g, ok)
@@ -76,10 +77,10 @@ func separationEOBBFS() {
 
 func openProblem3() {
 	fmt.Println("── PASYNC ⊆ PSYNC, strictness open (Open Problem 3) ──")
-	g := graph.FromEdges(6, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}}) // C5 + isolated 6
-	sync := engine.Run(bfs.New(bfs.General), g, adversary.MinID{}, engine.Options{})
+	g := registry.MustGraph("cycle-iso", registry.Params{N: 6}, nil) // C5 + isolated 6
+	sync := engine.Run(registry.MustProtocol("bfs", registry.Params{}), g, registry.MustAdversary("min", registry.Params{}), engine.Options{})
 	fmt.Printf("  SYNC native:      %v on C5+isolated (writes: %d/6)\n", sync.Status, len(sync.Writes))
-	frozen := engine.Run(bfs.New(bfs.General), g, adversary.MinID{},
+	frozen := engine.Run(registry.MustProtocol("bfs", registry.Params{}), g, registry.MustAdversary("min", registry.Params{}),
 		engine.Options{Model: engine.ModelPtr(core.Async)})
 	fmt.Printf("  ASYNC frozen:     %v after %d writes — d0 frozen at 0 inflates the forward-edge\n",
 		frozen.Status, len(frozen.Writes))
@@ -89,11 +90,12 @@ func openProblem3() {
 
 func theorem9() {
 	fmt.Println("── Theorem 9 — message size is orthogonal to synchronization ──")
-	f := func(n int) int { return n / 4 }
-	p := subgraphf.Protocol{F: f, Label: "n/4"}
 	rng := rand.New(rand.NewSource(9))
-	g := graph.RandomGNP(16, 0.5, rng)
-	res := engine.Run(p, g, adversary.MaxID{}, engine.Options{})
+	g := registry.MustGraph("gnp", registry.Params{N: 16, P: 0.5}, rng)
+	// SUBGRAPH_f with f(n) = n/4: for this n=16 instance, the registry's
+	// constant-prefix protocol with k = 4 is exactly that f.
+	p := registry.MustProtocol("subgraph", registry.Params{K: g.N() / 4})
+	res := engine.Run(p, g, registry.MustAdversary("max", registry.Params{}), engine.Options{})
 	sub := res.Output.(*graph.Graph)
 	fmt.Printf("  SUBGRAPH_{n/4} ∈ SIMASYNC[n/4+log n]: %v, recovered %d prefix edges at %d bits/message\n",
 		res.Status, sub.M(), res.MaxBits)
@@ -111,14 +113,14 @@ func theorem9() {
 
 func openProblem4() {
 	fmt.Println("── Open Problem 4 — randomized SIMASYNC protocols ──")
-	yes := graph.TwoCliques(8, nil)
-	no := graph.TwoCliquesSwapped(8, nil)
+	yes := registry.MustGraph("two-cliques", registry.Params{N: 16}, nil)
+	no := registry.MustGraph("swapped", registry.Params{N: 16}, nil)
 	errs := 0
 	trials := 500
 	for s := 0; s < trials; s++ {
-		p := randcliques.Protocol{Seed: uint64(s)*0x9E3779B9 + 1, Bits: 16}
-		ry := engine.Run(p, yes, adversary.MinID{}, engine.Options{})
-		rn := engine.Run(p, no, adversary.MinID{}, engine.Options{})
+		p := registry.MustProtocol("rand-cliques:16", registry.Params{Seed: int64(uint64(s)*0x9E3779B9 + 1)})
+		ry := engine.Run(p, yes, registry.MustAdversary("min", registry.Params{}), engine.Options{})
+		rn := engine.Run(p, no, registry.MustAdversary("min", registry.Params{}), engine.Options{})
 		if !ry.Output.(randcliques.Output).TwoCliques || rn.Output.(randcliques.Output).TwoCliques {
 			errs++
 		}

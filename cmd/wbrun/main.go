@@ -1,11 +1,13 @@
 // wbrun executes one whiteboard protocol on one graph under one adversary
 // and reports the run: status, rounds, write order, message sizes, and the
-// decoded output.
+// decoded output. All components are resolved by name through
+// internal/registry — the same catalog cmd/wbcampaign sweeps over.
 //
 // Examples:
 //
 //	wbrun -protocol bfs -graph gnp -n 12 -p 0.3 -adversary rotor
 //	wbrun -protocol build-kdeg -k 3 -graph kdeg -n 20 -engine concurrent
+//	wbrun -protocol mis -graph path -n 5 -adversary scripted:5,4,3,2,1
 //	wbrun -protocol bfs -graph cycle -n 5 -force-model ASYNC   # deadlock demo
 package main
 
@@ -14,24 +16,23 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	whiteboard "repro"
-	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/registry"
 )
 
 func main() {
 	var (
-		protoName = flag.String("protocol", "build-forest", "protocol: build-forest|build-kdeg|build-split|mis|two-cliques|bfs|bfs-cached|eob-bfs|bipartite-bfs|connectivity|subgraph|rand-cliques")
-		graphName = flag.String("graph", "tree", "graph: path|cycle|star|complete|grid|tree|forest|gnp|kdeg|split|eob|bipartite|two-cliques|swapped|polarity|empty")
+		protoName = flag.String("protocol", "build-forest", "protocol: "+registry.FlagHelp(registry.Protocols()))
+		graphName = flag.String("graph", "tree", "graph: "+registry.FlagHelp(registry.Graphs()))
 		n         = flag.Int("n", 10, "number of nodes (for two-cliques: total = 2·(n/2))")
 		k         = flag.Int("k", 2, "degeneracy bound / MIS root / subgraph prefix length")
 		p         = flag.Float64("p", 0.3, "edge probability for random graphs")
 		seed      = flag.Int64("seed", 1, "random seed for graphs and the random adversary")
-		advName   = flag.String("adversary", "min", "adversary: min|max|rotor|random|stubborn:<id>|scripted is not supported here")
+		advName   = flag.String("adversary", "min", "adversary: "+registry.FlagHelp(registry.Adversaries())+" (e.g. stubborn:3, scripted:3,1,2)")
 		engName   = flag.String("engine", "seq", "engine: seq|concurrent")
 		force     = flag.String("force-model", "", "override model: SIMASYNC|SIMSYNC|ASYNC|SYNC")
 		trace     = flag.Bool("trace", false, "print every write event")
@@ -39,26 +40,28 @@ func main() {
 	)
 	flag.Parse()
 
+	params := registry.Params{N: *n, K: *k, P: *p, Seed: *seed}
 	rng := rand.New(rand.NewSource(*seed))
-	g, err := makeGraph(*graphName, *n, *k, *p, rng)
+	g, err := registry.NewGraph(*graphName, params, rng)
 	if err != nil {
 		fail(err)
 	}
-	proto, err := makeProtocol(*protoName, g, *k, *seed)
+	params.N = g.N() // some families adjust n (grid, polarity, two-cliques)
+	proto, err := registry.NewProtocol(*protoName, params)
 	if err != nil {
 		fail(err)
 	}
-	adv, err := makeAdversary(*advName, *seed)
+	adv, err := registry.NewAdversary(*advName, params)
 	if err != nil {
 		fail(err)
 	}
 	opts := engine.Options{}
 	if *force != "" {
-		m, err := parseModel(*force)
+		m, err := registry.ParseModel(*force)
 		if err != nil {
 			fail(err)
 		}
-		opts.Model = engine.ModelPtr(m)
+		opts.Model = m
 	}
 
 	fmt.Printf("graph:     %v\n", g)
@@ -114,124 +117,6 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "wbrun:", err)
 	os.Exit(1)
-}
-
-func makeGraph(name string, n, k int, p float64, rng *rand.Rand) (*graph.Graph, error) {
-	switch name {
-	case "path":
-		return graph.Path(n), nil
-	case "cycle":
-		return graph.Cycle(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= n {
-			side++
-		}
-		return graph.Grid(side, side), nil
-	case "tree":
-		return graph.RandomTree(n, rng), nil
-	case "forest":
-		return graph.RandomForest(n, p, rng), nil
-	case "gnp":
-		return graph.RandomGNP(n, p, rng), nil
-	case "kdeg":
-		return graph.RandomKDegenerate(n, k, rng), nil
-	case "split":
-		return graph.RandomSplitDegenerate(n, k, rng), nil
-	case "polarity":
-		q := 2
-		for nxt := q + 1; (nxt*nxt + nxt + 1) <= n; nxt++ {
-			prime := true
-			for d := 2; d*d <= nxt; d++ {
-				if nxt%d == 0 {
-					prime = false
-					break
-				}
-			}
-			if prime {
-				q = nxt
-			}
-		}
-		return graph.PolarityGraph(q), nil
-	case "eob":
-		return graph.RandomEOB(n, p, rng), nil
-	case "bipartite":
-		return graph.RandomBipartite(n, p, rng), nil
-	case "two-cliques":
-		return graph.TwoCliques(n/2, nil), nil
-	case "swapped":
-		return graph.TwoCliquesSwapped(n/2, nil), nil
-	case "empty":
-		return graph.New(n), nil
-	}
-	return nil, fmt.Errorf("unknown graph %q", name)
-}
-
-func makeProtocol(name string, g *graph.Graph, k int, seed int64) (core.Protocol, error) {
-	switch name {
-	case "build-forest":
-		return whiteboard.BuildForest(), nil
-	case "build-kdeg":
-		return whiteboard.BuildKDegenerate(k), nil
-	case "build-split":
-		return whiteboard.BuildSplitDegenerate(k), nil
-	case "connectivity":
-		return whiteboard.Connectivity(), nil
-	case "bfs-cached":
-		return whiteboard.CachedBFS(), nil
-	case "mis":
-		root := k
-		if root < 1 || root > g.N() {
-			root = 1
-		}
-		return whiteboard.RootedMIS(root), nil
-	case "two-cliques":
-		return whiteboard.TwoCliquesProtocol(), nil
-	case "bfs":
-		return whiteboard.BFS(), nil
-	case "eob-bfs":
-		return whiteboard.EOBBFS(), nil
-	case "bipartite-bfs":
-		return whiteboard.BipartiteBFS(), nil
-	case "subgraph":
-		return whiteboard.SubgraphPrefix(func(int) int { return k }, fmt.Sprintf("first-%d", k)), nil
-	case "rand-cliques":
-		return whiteboard.RandomizedTwoCliques(uint64(seed), 32), nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q", name)
-}
-
-func makeAdversary(name string, seed int64) (adversary.Adversary, error) {
-	switch {
-	case name == "min":
-		return adversary.MinID{}, nil
-	case name == "max":
-		return adversary.MaxID{}, nil
-	case name == "rotor":
-		return adversary.Rotor{}, nil
-	case name == "random":
-		return adversary.NewRandom(seed), nil
-	case strings.HasPrefix(name, "stubborn:"):
-		var victim int
-		if _, err := fmt.Sscanf(name, "stubborn:%d", &victim); err != nil {
-			return nil, fmt.Errorf("bad stubborn spec %q", name)
-		}
-		return adversary.Stubborn{Victim: victim, Inner: adversary.MinID{}}, nil
-	}
-	return nil, fmt.Errorf("unknown adversary %q", name)
-}
-
-func parseModel(s string) (core.Model, error) {
-	for _, m := range core.AllModels {
-		if strings.EqualFold(m.String(), s) {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown model %q", s)
 }
 
 func printOutput(out any) {

@@ -8,6 +8,9 @@
 // against the O(log n) budget. "no" cells are certified by the paper's
 // reduction + counting scheme: the executable gadget transformation
 // (internal/reductions) plus the Lemma 3 pigeonhole (internal/bounds).
+//
+// Protocols and graphs are resolved by name through internal/registry, the
+// same catalog cmd/wbrun and cmd/wbcampaign use.
 package main
 
 import (
@@ -22,9 +25,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocols/bfs"
 	"repro/internal/protocols/buildkdeg"
-	"repro/internal/protocols/mis"
 	"repro/internal/protocols/twocliques"
 	"repro/internal/reductions"
+	"repro/internal/registry"
 )
 
 var verbose = flag.Bool("v", false, "print per-cell evidence details")
@@ -85,9 +88,11 @@ func open() cellResult { return cellResult{"?", "open problem in the paper"} }
 
 func openWithEvidence() cellResult {
 	// Open Problem 3: the paper conjectures BFS ∉ PASYNC. Produce the
-	// deadlock witness for the Theorem 10 protocol under ASYNC freezing.
-	g := graph.FromEdges(6, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}})
-	res := engine.Run(bfs.New(bfs.General), g, adversary.MinID{},
+	// deadlock witness for the Theorem 10 protocol under ASYNC freezing on
+	// the registry's witness family (C5 plus an isolated node).
+	g := registry.MustGraph("cycle-iso", registry.Params{N: 6}, nil)
+	res := engine.Run(registry.MustProtocol("bfs", registry.Params{}), g,
+		registry.MustAdversary("min", registry.Params{}),
 		engine.Options{Model: engine.ModelPtr(core.Async)})
 	return cellResult{"?", fmt.Sprintf(
 		"open (conjectured no); Thm-10 protocol under ASYNC freezing on C5+isolated: %v after %d writes",
@@ -98,25 +103,37 @@ func openTwoCliques() cellResult {
 	return cellResult{"?", "Open Problem 1; randomized SIMASYNC[O(log n)] protocol exists (see wbhierarchy)"}
 }
 
+// battery builds the standard correctness battery from registry families.
 func battery(rng *rand.Rand) []*graph.Graph {
-	return []*graph.Graph{
-		graph.Path(17),
-		graph.Cycle(16),
-		graph.Star(20),
-		graph.Grid(4, 6),
-		graph.RandomGNP(24, 0.2, rng),
-		graph.RandomConnectedGNP(32, 0.1, rng),
-		graph.RandomGNP(96, 0.05, rng),
+	type fam struct {
+		name string
+		p    registry.Params
 	}
+	fams := []fam{
+		{"path", registry.Params{N: 17}},
+		{"cycle", registry.Params{N: 16}},
+		{"star", registry.Params{N: 20}},
+		{"gnp", registry.Params{N: 24, P: 0.2}},
+		{"connected-gnp", registry.Params{N: 32, P: 0.1}},
+		{"gnp", registry.Params{N: 96, P: 0.05}},
+	}
+	out := make([]*graph.Graph, 0, len(fams)+1)
+	// The registry grid family is squares-only; keep the battery's
+	// rectangular instance so distinct side lengths stay covered.
+	out = append(out, graph.Grid(4, 6))
+	for _, f := range fams {
+		out = append(out, registry.MustGraph(f.name, f.p, rng))
+	}
+	return out
 }
 
 func checkBuildKDeg(core.Model) cellResult {
 	rng := rand.New(rand.NewSource(11))
 	runs, maxBits := 0, 0
 	for k := 1; k <= 3; k++ {
-		p := buildkdeg.Protocol{K: k}
+		p := registry.MustProtocol("build-kdeg", registry.Params{K: k})
 		for trial := 0; trial < 4; trial++ {
-			g := graph.RandomKDegenerate(48, k, rng)
+			g := registry.MustGraph("kdeg", registry.Params{N: 48, K: k}, rng)
 			for _, adv := range adversary.Standard(1, 31) {
 				res := engine.Run(p, g, adv, engine.Options{})
 				if res.Status != core.Success || !res.Output.(buildkdeg.Decoded).Graph.Equal(g) {
@@ -130,7 +147,7 @@ func checkBuildKDeg(core.Model) cellResult {
 		}
 	}
 	// Exhaustive schedules for a small instance.
-	_, err := engine.RunAll(buildkdeg.Protocol{K: 2}, graph.Cycle(5), engine.Options{}, 1<<20,
+	_, err := engine.RunAll(registry.MustProtocol("build-kdeg", registry.Params{K: 2}), graph.Cycle(5), engine.Options{}, 1<<20,
 		func(res *core.Result, _ []int) error {
 			if res.Status != core.Success {
 				return fmt.Errorf("%v", res.Status)
@@ -149,7 +166,7 @@ func checkMIS() cellResult {
 	for _, g := range battery(rng) {
 		for root := 1; root <= g.N(); root += 7 {
 			for _, adv := range adversary.Standard(2, 41) {
-				res := engine.Run(mis.Protocol{Root: root}, g, adv, engine.Options{})
+				res := engine.Run(registry.MustProtocol("mis", registry.Params{K: root, N: g.N()}), g, adv, engine.Options{})
 				if res.Status != core.Success {
 					return cellResult{"FAIL", res.Err.Error()}
 				}
@@ -180,10 +197,10 @@ func checkEOBBFS() cellResult {
 	rng := rand.New(rand.NewSource(17))
 	runs := 0
 	for trial := 0; trial < 6; trial++ {
-		g := graph.RandomEOB(20+4*trial, 0.3, rng)
+		g := registry.MustGraph("eob", registry.Params{N: 20 + 4*trial, P: 0.3}, rng)
 		want := graph.BFSForest(g)
 		for _, adv := range adversary.Standard(2, 43) {
-			res := engine.Run(bfs.New(bfs.EOB), g, adv, engine.Options{})
+			res := engine.Run(registry.MustProtocol("eob-bfs", registry.Params{}), g, adv, engine.Options{})
 			if res.Status != core.Success {
 				return cellResult{"FAIL", fmt.Sprintf("%v: %v", res.Status, res.Err)}
 			}
@@ -205,7 +222,7 @@ func checkBFS() cellResult {
 	for _, g := range battery(rng) {
 		want := graph.BFSForest(g)
 		for _, adv := range adversary.Standard(2, 47) {
-			res := engine.Run(bfs.New(bfs.General), g, adv, engine.Options{})
+			res := engine.Run(registry.MustProtocol("bfs", registry.Params{}), g, adv, engine.Options{})
 			if res.Status != core.Success {
 				return cellResult{"FAIL", fmt.Sprintf("%v: %v", res.Status, res.Err)}
 			}
@@ -225,12 +242,14 @@ func checkTwoCliques() cellResult {
 	runs := 0
 	for _, half := range []int{2, 3, 5, 8, 16} {
 		for _, adv := range adversary.Standard(2, 53) {
-			yes := engine.Run(twocliques.Protocol{}, graph.TwoCliques(half, nil), adv, engine.Options{})
+			yes := engine.Run(registry.MustProtocol("two-cliques", registry.Params{}),
+				registry.MustGraph("two-cliques", registry.Params{N: 2 * half}, nil), adv, engine.Options{})
 			if yes.Status != core.Success || !yes.Output.(twocliques.Output).TwoCliques {
 				return cellResult{"FAIL", "yes-instance rejected"}
 			}
 			if half >= 3 {
-				no := engine.Run(twocliques.Protocol{}, graph.TwoCliquesSwapped(half, nil), adv, engine.Options{})
+				no := engine.Run(registry.MustProtocol("two-cliques", registry.Params{}),
+					registry.MustGraph("swapped", registry.Params{N: 2 * half}, nil), adv, engine.Options{})
 				if no.Status != core.Success || no.Output.(twocliques.Output).TwoCliques {
 					return cellResult{"FAIL", "no-instance accepted"}
 				}
@@ -243,7 +262,7 @@ func checkTwoCliques() cellResult {
 
 func noByReductionTriangle() cellResult {
 	rng := rand.New(rand.NewSource(23))
-	g := graph.RandomBipartite(10, 0.5, rng)
+	g := registry.MustGraph("bipartite", registry.Params{N: 10, P: 0.5}, rng)
 	if err := reductions.VerifyTriangleGadget(g); err != nil {
 		return cellResult{"FAIL", err.Error()}
 	}
@@ -266,7 +285,7 @@ func noByReductionTriangle() cellResult {
 
 func noByReductionMIS() cellResult {
 	rng := rand.New(rand.NewSource(29))
-	g := graph.RandomGNP(8, 0.4, rng)
+	g := registry.MustGraph("gnp", registry.Params{N: 8, P: 0.4}, rng)
 	if err := reductions.VerifyMISGadget(g); err != nil {
 		return cellResult{"FAIL", err.Error()}
 	}
@@ -285,7 +304,7 @@ func noByReductionMIS() cellResult {
 
 func noByReductionEOB() cellResult {
 	rng := rand.New(rand.NewSource(31))
-	h := graph.RandomEOB(8, 0.5, rng)
+	h := registry.MustGraph("eob", registry.Params{N: 8, P: 0.5}, rng)
 	in, err := reductions.NewEOBGadgetInput(h)
 	if err != nil {
 		return cellResult{"FAIL", err.Error()}

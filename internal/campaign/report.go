@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Dist summarizes an integer distribution. Mean is sum/count computed from
+// exact integer accumulators, so it is identical for any execution order.
+type Dist struct {
+	Min  int     `json:"min"`
+	Max  int     `json:"max"`
+	Mean float64 `json:"mean"`
+	sum  int64
+	n    int64
+}
+
+func newDist() Dist { return Dist{Min: int(^uint(0) >> 1)} }
+
+func (d *Dist) add(v int) {
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	d.sum += int64(v)
+	d.n++
+	d.Mean = float64(d.sum) / float64(d.n)
+}
+
+// Cell aggregates all trials of one (protocol, graph, n, adversary, model)
+// coordinate.
+type Cell struct {
+	Protocol       string `json:"protocol"`
+	Graph          string `json:"graph"`
+	N              int    `json:"n"`
+	Adversary      string `json:"adversary"`
+	Model          string `json:"model"`
+	Runs           int    `json:"runs"`
+	Success        int    `json:"success"`
+	Deadlock       int    `json:"deadlock"`
+	Failed         int    `json:"failed"`
+	Rounds         Dist   `json:"rounds"`
+	BoardBits      Dist   `json:"board_bits"`
+	MaxMessageBits int    `json:"max_message_bits"`
+	FirstError     string `json:"first_error,omitempty"`
+}
+
+// Totals sums outcome counts across all cells.
+type Totals struct {
+	Runs     int `json:"runs"`
+	Success  int `json:"success"`
+	Deadlock int `json:"deadlock"`
+	Failed   int `json:"failed"`
+}
+
+// Report is a finished campaign. Every JSON-visible field is a pure
+// function of the spec — wall time and worker count are deliberately
+// excluded (json:"-") so that reports from different machines and worker
+// counts are byte-identical and diffable.
+type Report struct {
+	Spec   Spec   `json:"spec"`
+	Jobs   int    `json:"jobs"`
+	Cells  []Cell `json:"cells"`
+	Totals Totals `json:"totals"`
+
+	Elapsed time.Duration `json:"-"`
+	Workers int           `json:"-"`
+}
+
+// WriteJSON emits the report as indented JSON with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCSV emits one row per cell in matrix order. Fields containing
+// commas (e.g. adversary "scripted:3,1,2") are quoted per RFC 4180.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"protocol", "graph", "n", "adversary", "model",
+		"runs", "success", "deadlock", "failed",
+		"rounds_min", "rounds_mean", "rounds_max",
+		"board_bits_min", "board_bits_mean", "board_bits_max", "max_message_bits"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		row := []string{c.Protocol, c.Graph, itoa(c.N), c.Adversary, c.Model,
+			itoa(c.Runs), itoa(c.Success), itoa(c.Deadlock), itoa(c.Failed),
+			itoa(c.Rounds.Min), ftoa(c.Rounds.Mean), itoa(c.Rounds.Max),
+			itoa(c.BoardBits.Min), ftoa(c.BoardBits.Mean), itoa(c.BoardBits.Max),
+			itoa(c.MaxMessageBits)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Summary returns a one-line human summary for CLI output.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d jobs over %d cells: %d success, %d deadlock, %d failed (%d workers, %v)",
+		r.Totals.Runs, len(r.Cells), r.Totals.Success, r.Totals.Deadlock, r.Totals.Failed,
+		r.Workers, r.Elapsed.Round(time.Millisecond))
+}

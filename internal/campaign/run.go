@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// Options tunes campaign execution. The zero value runs with GOMAXPROCS
+// workers and no progress reporting.
+type Options struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, if set, is called after every completed job with the
+	// number done so far and the total. Calls are serialized.
+	OnProgress func(done, total int)
+}
+
+// jobResult is the per-run record a worker hands to the aggregator. It is
+// deliberately small: the worker copies these few ints out of the runner's
+// reused Result before the next run overwrites it.
+type jobResult struct {
+	status    core.Status
+	rounds    int
+	boardBits int
+	maxBits   int
+	err       string
+}
+
+// Run expands the spec and executes every job on a sharded worker pool.
+// Workers pull job indices from a shared atomic counter and write results
+// into a slice indexed by job position, so aggregation — and therefore the
+// report — is identical for any worker count. Each worker owns one
+// engine.Runner and one RNG, reused across all its jobs.
+func Run(spec Spec, opts Options) (*Report, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := spec.Expand()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	start := time.Now()
+	results := make([]jobResult, len(jobs))
+	var next atomic.Int64
+	var progressMu sync.Mutex
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := engine.NewRunner()
+			rng := rand.New(rand.NewSource(1)) // reseeded per job
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = runJob(runner, rng, spec, jobs[i])
+				if opts.OnProgress != nil {
+					// Increment under the same lock as the callback so the
+					// counts the callback sees are strictly monotonic.
+					progressMu.Lock()
+					done++
+					opts.OnProgress(done, len(jobs))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := aggregate(spec, jobs, results)
+	rep.Elapsed = time.Since(start)
+	rep.Workers = workers
+	return rep, nil
+}
+
+// runJob constructs the job's components from the registry and executes one
+// run on the worker's reusable runner. Construction errors (which Validate
+// should have ruled out) and panics surface as Failed results rather than
+// tearing down the pool.
+func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr = jobResult{status: core.Failed, err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	// Each component gets its own salted sub-seed: a randomized protocol or
+	// a "random" adversary seeded with the graph's seed would replay the
+	// very PRNG stream that drew the graph's edges, correlating schedule
+	// with structure.
+	params := registry.Params{N: job.N, K: spec.K, P: spec.P, Seed: job.Seed}
+	rng.Seed(job.Seed)
+	g, err := registry.NewGraph(job.Graph, params, rng)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	// Some families adjust n (grid, polarity, two-cliques); protocols that
+	// clamp against n (mis root) must see the real node count, as wbrun does.
+	params.N = g.N()
+	params.Seed = subSeed(job.Seed, 0x70726F746F636F6C) // "protocol"
+	proto, err := registry.NewProtocol(job.Protocol, params)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	params.Seed = subSeed(job.Seed, 0x61647665727361) // "adversa"
+	adv, err := registry.NewAdversary(job.Adversary, params)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	model, err := registry.ParseModel(job.Model)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	res := runner.Run(proto, g, adv, engine.Options{Model: model, MaxRounds: spec.MaxRounds})
+	jr = jobResult{
+		status:    res.Status,
+		rounds:    res.Rounds,
+		boardBits: res.Board.TotalBits(),
+		maxBits:   res.MaxBits,
+	}
+	if res.Err != nil {
+		jr.err = res.Err.Error()
+	}
+	return jr
+}
+
+// aggregate folds per-job results into per-cell statistics, walking jobs in
+// matrix order so the output is deterministic.
+func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
+	cells := make([]Cell, spec.NumCells())
+	for i, job := range jobs {
+		c := &cells[job.Cell]
+		if c.Runs == 0 {
+			c.Protocol, c.Graph, c.Adversary = job.Protocol, job.Graph, job.Adversary
+			c.Model, c.N = job.Model, job.N
+			c.Rounds = newDist()
+			c.BoardBits = newDist()
+		}
+		r := results[i]
+		c.Runs++
+		switch r.status {
+		case core.Success:
+			c.Success++
+		case core.Deadlock:
+			c.Deadlock++
+		case core.Failed:
+			c.Failed++
+			if c.FirstError == "" {
+				c.FirstError = r.err
+			}
+		}
+		c.Rounds.add(r.rounds)
+		c.BoardBits.add(r.boardBits)
+		if r.maxBits > c.MaxMessageBits {
+			c.MaxMessageBits = r.maxBits
+		}
+	}
+	rep := &Report{Spec: spec, Jobs: len(jobs), Cells: cells}
+	for i := range cells {
+		rep.Totals.Runs += cells[i].Runs
+		rep.Totals.Success += cells[i].Success
+		rep.Totals.Deadlock += cells[i].Deadlock
+		rep.Totals.Failed += cells[i].Failed
+	}
+	return rep
+}

@@ -1,0 +1,211 @@
+// Package campaign turns the repo from a one-run-at-a-time tool into a
+// batch simulation engine: a declarative Spec — protocol set × graph
+// family × size sweep × adversary set × model override × seed range — is
+// expanded into a job matrix and executed by a sharded worker pool with
+// per-worker reusable engine state (engine.Runner). Per-cell statistics
+// (success/deadlock/failure counts, round and board-bit distributions) are
+// aggregated into a Report with deterministic JSON and CSV emitters: the
+// same spec produces byte-identical reports regardless of worker count,
+// because every job's seed is derived from its coordinates rather than
+// from scheduling order.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"repro/internal/registry"
+)
+
+// Spec declares a campaign. Normalize fills the two fields whose zero
+// values are meaningless — Seeds=0 becomes 1 and an empty Models list
+// becomes ["native"]; K and P pass through verbatim (p=0 really sweeps
+// edgeless random graphs).
+type Spec struct {
+	// Name labels the campaign in reports.
+	Name string `json:"name,omitempty"`
+	// Protocols, Graphs and Adversaries are registry names (adversaries may
+	// carry colon-arguments such as "stubborn:1").
+	Protocols   []string `json:"protocols"`
+	Graphs      []string `json:"graphs"`
+	Adversaries []string `json:"adversaries"`
+	// Sizes is the node-count sweep.
+	Sizes []int `json:"sizes"`
+	// Models optionally forces each run under a model ("SIMASYNC", "SIMSYNC",
+	// "ASYNC", "SYNC"); "native" (or "") keeps the protocol's declared model.
+	Models []string `json:"models,omitempty"`
+	// Seeds is the number of trials per cell; trial t of a cell gets a seed
+	// derived deterministically from (cell coordinates, t, BaseSeed).
+	Seeds int `json:"seeds,omitempty"`
+	// BaseSeed shifts every derived seed, giving a fresh but reproducible
+	// batch of random graphs and adversary choices.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// K is the degeneracy bound / MIS root / subgraph prefix parameter.
+	K int `json:"k,omitempty"`
+	// P is the edge probability for random graph families.
+	P float64 `json:"p,omitempty"`
+	// MaxRounds bounds each run; 0 means the engine default (4n+16).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Normalize returns the spec with defaults filled in, so that reports echo
+// the exact configuration that ran.
+func (s Spec) Normalize() Spec {
+	if s.Seeds == 0 {
+		s.Seeds = 1
+	}
+	if len(s.Models) == 0 {
+		s.Models = []string{"native"}
+	} else {
+		// Copy before rewriting: Spec is passed by value but the slice
+		// backing array is shared with the caller.
+		models := make([]string, len(s.Models))
+		for i, m := range s.Models {
+			if m == "" {
+				m = "native"
+			}
+			models[i] = m
+		}
+		s.Models = models
+	}
+	return s
+}
+
+// Validate checks the normalized spec: non-empty axes, positive sizes and
+// seeds, and every name resolvable in the registry (including a dry
+// construction of each component, so typos fail before any job runs, with
+// the registry's did-you-mean message).
+func (s Spec) Validate() error {
+	if len(s.Protocols) == 0 || len(s.Graphs) == 0 || len(s.Adversaries) == 0 || len(s.Sizes) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one protocol, graph, adversary and size")
+	}
+	if s.Seeds < 1 {
+		return fmt.Errorf("campaign: seeds must be ≥ 1, got %d", s.Seeds)
+	}
+	for _, n := range s.Sizes {
+		if n < 1 {
+			return fmt.Errorf("campaign: size %d is not a positive node count", n)
+		}
+	}
+	params := registry.Params{N: s.Sizes[0], K: s.K, P: s.P, Seed: 1}
+	for _, name := range s.Protocols {
+		if _, err := registry.NewProtocol(name, params); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, name := range s.Graphs {
+		if _, err := registry.NewGraph(name, params, nil); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, name := range s.Adversaries {
+		if _, err := registry.NewAdversary(name, params); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, m := range s.Models {
+		if _, err := registry.ParseModel(m); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadSpec reads a Spec from a JSON file, rejecting unknown fields so that
+// a misspelled key fails loudly instead of silently sweeping nothing.
+func LoadSpec(path string) (Spec, error) {
+	var s Spec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("campaign: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("campaign: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Job is one simulation: a cell coordinate plus a trial index and the seed
+// derived from them.
+type Job struct {
+	Protocol  string
+	Graph     string
+	Adversary string
+	Model     string // "native" or a model name
+	N         int
+	Trial     int
+	Seed      int64
+	Cell      int // index into the report's cell list
+}
+
+// Expand flattens the normalized spec into its job matrix, in the fixed
+// order protocol → graph → size → adversary → model → trial. Cell indices
+// follow the same order, so aggregation is position-based and independent
+// of execution order.
+func (s Spec) Expand() []Job {
+	jobs := make([]Job, 0,
+		len(s.Protocols)*len(s.Graphs)*len(s.Sizes)*len(s.Adversaries)*len(s.Models)*s.Seeds)
+	cell := 0
+	for _, proto := range s.Protocols {
+		for _, g := range s.Graphs {
+			for _, n := range s.Sizes {
+				for _, adv := range s.Adversaries {
+					for _, model := range s.Models {
+						for t := 0; t < s.Seeds; t++ {
+							jobs = append(jobs, Job{
+								Protocol: proto, Graph: g, Adversary: adv, Model: model,
+								N: n, Trial: t, Cell: cell,
+								Seed: deriveSeed(s.BaseSeed, proto, g, adv, model, n, t),
+							})
+						}
+						cell++
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// NumCells returns the number of aggregation cells the spec expands to.
+func (s Spec) NumCells() int {
+	return len(s.Protocols) * len(s.Graphs) * len(s.Sizes) * len(s.Adversaries) * len(s.Models)
+}
+
+// deriveSeed maps a job's coordinates to a seed, deterministically and
+// independently of worker count or execution order: an FNV-64a hash of the
+// coordinate tuple, finished by a splitmix64 round so nearby coordinates
+// land far apart, xor-shifted by the campaign's base seed.
+func deriveSeed(base int64, proto, g, adv, model string, n, trial int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d", proto, g, adv, model, n, trial)
+	return finalize(h.Sum64() ^ uint64(base)*0x9E3779B97F4A7C15)
+}
+
+// subSeed decorrelates the per-component PRNG streams within one job: the
+// graph uses the job seed directly, while randomized protocols and
+// adversaries get salted derivatives so they never replay the stream that
+// drew the graph.
+func subSeed(seed int64, salt uint64) int64 {
+	return finalize(uint64(seed) ^ salt)
+}
+
+// finalize is the splitmix64 finalizer, folded to a positive non-zero
+// int64 for readability in traces.
+func finalize(x uint64) int64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	seed := int64(x &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

@@ -137,6 +137,11 @@ func (b *Board) Last() Message {
 // Append writes a message. Only the engine should call this.
 func (b *Board) Append(m Message) { b.msgs = append(b.msgs, m) }
 
+// Reset empties the board in place, keeping the spine's capacity. Only the
+// engine's reusable Runner should call this; boards handed out in Results
+// must not be reset while still referenced.
+func (b *Board) Reset() { b.msgs = b.msgs[:0] }
+
 // TotalBits returns the total number of bits on the board — the quantity
 // Lemma 3 bounds by O(n·f(n)).
 func (b *Board) TotalBits() int {

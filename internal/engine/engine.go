@@ -64,6 +64,17 @@ func Run(p core.Protocol, g *graph.Graph, adv adversary.Adversary, opts Options)
 }
 
 func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts Options) *core.Result {
+	res := &core.Result{Board: core.NewBoard()}
+	runInto(p, views, adv, opts, newState(len(views)-1), res)
+	return res
+}
+
+// runInto executes the round loop into caller-owned storage: st must be
+// reset for n = len(views)-1 nodes and res must be zeroed except for an
+// empty res.Board (and a reusable res.Writes spine). This is the shared
+// core of Run and Runner.Run; the latter reuses st, board, and the Writes
+// slice across calls.
+func runInto(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts Options, st *state, res *core.Result) {
 	n := len(views) - 1
 	model := p.Model()
 	if opts.Model != nil {
@@ -74,20 +85,17 @@ func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts O
 		maxRounds = 4*n + 16
 	}
 	budget := p.MaxMessageBits(n)
+	board := res.Board
 
-	st := newState(n)
-	board := core.NewBoard()
-	res := &core.Result{Board: board}
-
-	fail := func(err error) *core.Result {
+	fail := func(err error) {
 		res.Status = core.Failed
 		res.Err = err
-		return res
 	}
 
 	for round := 1; ; round++ {
 		if round > maxRounds {
-			return fail(fmt.Errorf("engine: exceeded %d rounds (protocol or adversary livelock)", maxRounds))
+			fail(fmt.Errorf("engine: exceeded %d rounds (protocol or adversary livelock)", maxRounds))
+			return
 		}
 		res.Rounds = round
 
@@ -101,13 +109,15 @@ func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts O
 				if model.Asynchronous() {
 					m := p.Compose(views[v], board)
 					if !opts.DisableBudget && m.Bits > budget {
-						return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", v, m.Bits, budget))
+						fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", v, m.Bits, budget))
+						return
 					}
 					st.pending[v] = m
 				}
 			} else if model.Simultaneous() && board.Empty() {
-				return fail(fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
+				fail(fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
 					model, p.Name(), v))
+				return
 			}
 		}
 
@@ -117,18 +127,20 @@ func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts O
 			if st.written == n {
 				out, err := p.Output(n, board)
 				if err != nil {
-					return fail(fmt.Errorf("engine: output: %w", err))
+					fail(fmt.Errorf("engine: output: %w", err))
+					return
 				}
 				res.Status = core.Success
 				res.Output = out
-				return res
+				return
 			}
 			res.Status = core.Deadlock
-			return res
+			return
 		}
 		chosen := adv.Choose(round, candidates, board)
 		if !contains(candidates, chosen) {
-			return fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
+			fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
+			return
 		}
 		var m core.Message
 		if model.Asynchronous() {
@@ -136,7 +148,8 @@ func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts O
 		} else {
 			m = p.Compose(views[chosen], board)
 			if !opts.DisableBudget && m.Bits > budget {
-				return fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, m.Bits, budget))
+				fail(fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, m.Bits, budget))
+				return
 			}
 		}
 		board.Append(m)
@@ -159,6 +172,7 @@ const (
 type state struct {
 	state   []nodeState
 	pending []core.Message
+	cand    []int // reusable candidates buffer
 	written int
 }
 
@@ -166,15 +180,31 @@ func newState(n int) *state {
 	return &state{state: make([]nodeState, n+1), pending: make([]core.Message, n+1)}
 }
 
-// candidates lists active unwritten nodes ascending.
+// reset readies the state for a fresh run on n nodes, keeping capacity.
+func (s *state) reset(n int) {
+	if cap(s.state) <= n {
+		s.state = make([]nodeState, n+1)
+		s.pending = make([]core.Message, n+1)
+	}
+	s.state = s.state[:n+1]
+	s.pending = s.pending[:n+1]
+	for i := range s.state {
+		s.state[i] = awake
+		s.pending[i] = core.Message{}
+	}
+	s.written = 0
+}
+
+// candidates lists active unwritten nodes ascending. The returned slice is
+// the state's own buffer, overwritten by the next call on the same state.
 func (s *state) candidates() []int {
-	var c []int
+	s.cand = s.cand[:0]
 	for v := 1; v < len(s.state); v++ {
 		if s.state[v] == active {
-			c = append(c, v)
+			s.cand = append(s.cand, v)
 		}
 	}
-	return c
+	return s.cand
 }
 
 func (s *state) markWritten(v int) {

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocols/bfs"
+	"repro/internal/protocols/buildforest"
+	"repro/internal/protocols/mis"
+)
+
+// TestRunnerMatchesRun drives a Runner through a mixed workload —
+// different protocols, graph sizes and adversaries back to back — and
+// checks every run against the allocating Run: same status, same write
+// order, same board content, same rounds. This is the state-reuse
+// contract the campaign worker pool depends on.
+func TestRunnerMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	runner := NewRunner()
+	type job struct {
+		p   core.Protocol
+		g   *graph.Graph
+		adv adversary.Adversary
+	}
+	var jobs []job
+	for trial := 0; trial < 5; trial++ {
+		jobs = append(jobs,
+			job{bfs.New(bfs.General), graph.RandomGNP(20+trial*7, 0.2, rng), adversary.MinID{}},
+			job{mis.Protocol{Root: 1}, graph.RandomGNP(12, 0.3, rng), adversary.Rotor{}},
+			job{buildforest.Protocol{}, graph.RandomTree(9, rng), adversary.MaxID{}},
+			// Deadlocks and failures must reset cleanly too.
+			job{bfs.New(bfs.General), graph.Cycle(5), adversary.MinID{}},
+		)
+	}
+	for i, j := range jobs {
+		opts := Options{}
+		if j.g.N() == 5 {
+			opts.Model = ModelPtr(core.Async) // the C5 deadlock witness
+		}
+		want := Run(j.p, j.g, j.adv, opts)
+		got := runner.Run(j.p, j.g, j.adv, opts)
+		if got.Status != want.Status || got.Rounds != want.Rounds || got.MaxBits != want.MaxBits {
+			t.Fatalf("job %d (%s): got (%v,%d,%d), want (%v,%d,%d)",
+				i, j.p.Name(), got.Status, got.Rounds, got.MaxBits, want.Status, want.Rounds, want.MaxBits)
+		}
+		if gk, wk := got.Board.Key(), want.Board.Key(); gk != wk {
+			t.Fatalf("job %d (%s): board mismatch", i, j.p.Name())
+		}
+		if fmt.Sprint(got.WriterOrder()) != fmt.Sprint(want.WriterOrder()) {
+			t.Fatalf("job %d (%s): write order mismatch", i, j.p.Name())
+		}
+	}
+}
+
+// TestRunnerShrinkGrow checks buffer management across size changes in
+// both directions.
+func TestRunnerShrinkGrow(t *testing.T) {
+	runner := NewRunner()
+	for _, n := range []int{50, 3, 80, 1, 17} {
+		g := graph.Path(n)
+		got := runner.Run(buildforest.Protocol{}, g, adversary.MinID{}, Options{})
+		if got.Status != core.Success {
+			t.Fatalf("n=%d: %v (%v)", n, got.Status, got.Err)
+		}
+		if len(got.Writes) != n {
+			t.Fatalf("n=%d: %d writes", n, len(got.Writes))
+		}
+	}
+}
+
+// BenchmarkRunnerReuse quantifies what the reusable Runner saves over the
+// allocating Run on the campaign hot loop. BuildForest composes cheap
+// messages, so the engine's own per-run allocations (state, views, board,
+// candidates, writes) dominate — exactly what the Runner amortizes.
+func BenchmarkRunnerReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomTree(64, rng)
+	p := buildforest.Protocol{}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := Run(p, g, adversary.MinID{}, Options{}); res.Status != core.Success {
+				b.Fatal(res.Status)
+			}
+		}
+	})
+	b.Run("runner", func(b *testing.B) {
+		b.ReportAllocs()
+		runner := NewRunner()
+		for i := 0; i < b.N; i++ {
+			if res := runner.Run(p, g, adversary.MinID{}, Options{}); res.Status != core.Success {
+				b.Fatal(res.Status)
+			}
+		}
+	})
+}

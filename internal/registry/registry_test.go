@@ -1,0 +1,165 @@
+package registry
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestEveryProtocolConstructsWithDefaults exercises each registered
+// protocol name with default params.
+func TestEveryProtocolConstructsWithDefaults(t *testing.T) {
+	for _, name := range Protocols() {
+		p, err := NewProtocol(name, Params{})
+		if err != nil {
+			t.Errorf("protocol %q: %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("protocol %q constructed with empty Name()", name)
+		}
+		if p.MaxMessageBits(16) < 1 {
+			t.Errorf("protocol %q has non-positive budget at n=16", name)
+		}
+		e, ok := ProtocolDoc(name)
+		if !ok || e.Doc == "" {
+			t.Errorf("protocol %q has no doc string", name)
+		}
+	}
+}
+
+// TestEveryGraphConstructsWithDefaults exercises each registered graph
+// family with default params and checks basic shape.
+func TestEveryGraphConstructsWithDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range Graphs() {
+		g, err := NewGraph(name, Params{N: 12}, rng)
+		if err != nil {
+			t.Errorf("graph %q: %v", name, err)
+			continue
+		}
+		if g.N() < 1 {
+			t.Errorf("graph %q has %d nodes", name, g.N())
+		}
+		if e, ok := GraphDoc(name); !ok || e.Doc == "" {
+			t.Errorf("graph %q has no doc string", name)
+		}
+	}
+}
+
+// TestEveryAdversaryConstructsWithDefaults exercises each registered
+// adversary, supplying the colon-argument where the schema wants one.
+func TestEveryAdversaryConstructsWithDefaults(t *testing.T) {
+	specFor := map[string]string{
+		"stubborn": "stubborn:3",
+		"scripted": "scripted:3,1,2",
+	}
+	for _, name := range Adversaries() {
+		spec := name
+		if s, ok := specFor[name]; ok {
+			spec = s
+		}
+		a, err := NewAdversary(spec, Params{})
+		if err != nil {
+			t.Errorf("adversary %q: %v", spec, err)
+			continue
+		}
+		if got := a.Choose(1, []int{2, 5, 9}, nil); got != 2 && got != 5 && got != 9 {
+			t.Errorf("adversary %q chose %d, not a candidate", spec, got)
+		}
+		if e, ok := AdversaryDoc(name); !ok || e.Doc == "" {
+			t.Errorf("adversary %q has no doc string", name)
+		}
+	}
+}
+
+func TestScriptedAdversaryOrder(t *testing.T) {
+	a, err := NewAdversary("scripted:3,1,2", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Choose(1, []int{1, 2, 3}, nil); got != 3 {
+		t.Errorf("scripted:3,1,2 chose %d first, want 3", got)
+	}
+	if got := a.Choose(2, []int{1, 2}, nil); got != 1 {
+		t.Errorf("scripted:3,1,2 chose %d second, want 1", got)
+	}
+}
+
+func TestBadColonArguments(t *testing.T) {
+	for _, spec := range []string{"stubborn:", "stubborn:xyz", "scripted:", "scripted:1,a", "rand-cliques:0", "rand-cliques:x"} {
+		var err error
+		if strings.HasPrefix(spec, "rand-cliques") {
+			_, err = NewProtocol(spec, Params{})
+		} else {
+			_, err = NewAdversary(spec, Params{})
+		}
+		if err == nil {
+			t.Errorf("%q: want error, got none", spec)
+		}
+	}
+}
+
+// TestUnknownNamesSuggest checks the did-you-mean machinery on close typos
+// of each kind.
+func TestUnknownNamesSuggest(t *testing.T) {
+	cases := []struct {
+		kind, spec, want string
+	}{
+		{"protocol", "bffs", `"bfs"`},
+		{"protocol", "msi", `"mis"`},
+		{"graph", "gnpp", `"gnp"`},
+		{"graph", "cyle", `"cycle"`},
+		{"adversary", "minn", `"min"`},
+		{"adversary", "rotot", `"rotor"`},
+	}
+	for _, c := range cases {
+		var err error
+		switch c.kind {
+		case "protocol":
+			_, err = NewProtocol(c.spec, Params{})
+		case "graph":
+			_, err = NewGraph(c.spec, Params{}, nil)
+		case "adversary":
+			_, err = NewAdversary(c.spec, Params{})
+		}
+		if err == nil {
+			t.Errorf("%s %q: want error, got none", c.kind, c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s %q: error %q does not suggest %s", c.kind, c.spec, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "known:") {
+			t.Errorf("%s %q: error %q does not list known names", c.kind, c.spec, err)
+		}
+	}
+}
+
+func TestUnknownFarNameListsAllWithoutSuggestion(t *testing.T) {
+	_, err := NewProtocol("quicksort", Params{})
+	if err == nil {
+		t.Fatal("want error for unknown protocol")
+	}
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("error %q suggests a name for a far-off typo", err)
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, s := range []string{"SIMASYNC", "simsync", "Async", "SYNC"} {
+		m, err := ParseModel(s)
+		if err != nil || m == nil {
+			t.Errorf("ParseModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	for _, s := range []string{"", "native", "NATIVE"} {
+		m, err := ParseModel(s)
+		if err != nil || m != nil {
+			t.Errorf("ParseModel(%q) = %v, %v; want nil, nil", s, m, err)
+		}
+	}
+	if _, err := ParseModel("SIMSINC"); err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("ParseModel typo: got %v", err)
+	}
+}
