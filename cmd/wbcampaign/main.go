@@ -1,16 +1,26 @@
-// wbcampaign runs a batch of whiteboard simulations — a campaign — from a
+// wbcampaign runs batches of whiteboard simulations — campaigns — from a
 // declarative spec: protocol set × graph family × size sweep × adversary
 // set × model override × seed range, expanded into a job matrix and
 // executed on a sharded worker pool with live progress. The report (JSON
 // and optionally CSV) aggregates per-cell outcome counts and round /
 // board-bit distributions, and is byte-identical for any worker count.
+// Specs with "mode": "exhaustive" enumerate every adversarial schedule per
+// cell (engine.RunAll) instead of sampling adversaries.
 //
-// Examples:
+// Subcommands wire the persistent result store:
+//
+//	wbcampaign run  -spec examples/campaigns/smoke.json -store
+//	wbcampaign list
+//	wbcampaign diff                  # latest two runs of the newest spec
+//	wbcampaign diff run-001 run-002  # explicit refs, -json for machines
+//
+// `run` without a subcommand word keeps working for compatibility:
 //
 //	wbcampaign -spec examples/campaigns/smoke.json
-//	wbcampaign -protocols bfs,mis -graphs gnp,tree,cycle -sizes 8,16,32 \
-//	           -adversaries min,max -seeds 5 -out report.json -csv report.csv
-//	wbcampaign -spec examples/campaigns/models.json -workers 1   # reference run
+//	wbcampaign -protocols bfs,mis -graphs gnp,tree -sizes 8,16 -seeds 5
+//
+// diff exits 0 when the reports agree, 1 when any cell differs, 2 on
+// errors — fit for CI regression gates.
 package main
 
 import (
@@ -22,29 +32,108 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/registry"
+	"repro/internal/resultstore"
 )
 
+const defaultStoreDir = ".wbstore"
+
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			runCmd(args[1:])
+			return
+		case "list":
+			listCmd(args[1:])
+			return
+		case "diff":
+			diffCmd(args[1:])
+			return
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			return
+		}
+		if !strings.HasPrefix(args[0], "-") {
+			fmt.Fprintf(os.Stderr, "wbcampaign: unknown subcommand %q\n\n", args[0])
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+	}
+	// Bare flags mean `run`, as before the store existed.
+	runCmd(args)
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: wbcampaign [run|list|diff] [flags]
+
+  run   execute a campaign spec (default when flags are given directly)
+  list  list runs stored with `+"`run -store`"+`
+  diff  compare two stored runs cell by cell (exit 1 when they differ)
+
+run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
+           [-exhaustive] [-max-steps N] [-store] [-dir DIR] [-label L]
+           [-workers N] [-out FILE] [-csv FILE] [-quiet]
+list flags: [-dir DIR]
+diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
+`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		specPath = flag.String("spec", "", "JSON spec file; flags below are ignored when set (except -workers/-out/-csv/-quiet)")
-		protos   = flag.String("protocols", "bfs", "comma-separated protocols: "+registry.FlagHelp(registry.Protocols()))
-		graphs   = flag.String("graphs", "gnp", "comma-separated graphs: "+registry.FlagHelp(registry.Graphs()))
-		advs     = flag.String("adversaries", "min", "comma-separated adversaries: "+registry.FlagHelp(registry.Adversaries()))
-		sizes    = flag.String("sizes", "8,16", "comma-separated node counts")
-		models   = flag.String("models", "native", "comma-separated model overrides: native|SIMASYNC|SIMSYNC|ASYNC|SYNC")
-		seeds    = flag.Int("seeds", 1, "trials per cell")
-		baseSeed = flag.Int64("base-seed", 0, "base seed mixed into every derived job seed")
-		k        = flag.Int("k", 2, "degeneracy bound / MIS root / subgraph prefix length")
-		p        = flag.Float64("p", 0.3, "edge probability for random graphs")
-		workers  = flag.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
-		out      = flag.String("out", "", "JSON report path; empty = stdout")
-		csvPath  = flag.String("csv", "", "also write a CSV report here")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line and summary")
+		specPath   = fs.String("spec", "", "JSON spec file; axis flags below are ignored when set")
+		protos     = fs.String("protocols", "bfs", "comma-separated protocols: "+registry.FlagHelp(registry.Protocols()))
+		graphs     = fs.String("graphs", "gnp", "comma-separated graphs: "+registry.FlagHelp(registry.Graphs()))
+		advs       = fs.String("adversaries", "min", "comma-separated adversaries: "+registry.FlagHelp(registry.Adversaries()))
+		sizes      = fs.String("sizes", "8,16", "comma-separated node counts")
+		models     = fs.String("models", "native", "comma-separated model overrides: native|SIMASYNC|SIMSYNC|ASYNC|SYNC")
+		seeds      = fs.Int("seeds", 1, "trials per cell")
+		baseSeed   = fs.Int64("base-seed", 0, "base seed mixed into every derived job seed")
+		k          = fs.Int("k", 2, "degeneracy bound / MIS root / subgraph prefix length")
+		p          = fs.Float64("p", 0.3, "edge probability for random graphs")
+		exhaustive = fs.Bool("exhaustive", false, "enumerate every adversarial schedule per cell (ignores -adversaries; small n only)")
+		maxSteps   = fs.Int("max-steps", 0, "per-job write budget in exhaustive mode; 0 = default")
+		workers    = fs.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
+		out        = fs.String("out", "", "JSON report path; empty = stdout (unless -store)")
+		csvPath    = fs.String("csv", "", "also write a CSV report here")
+		store      = fs.Bool("store", false, "persist the report in the result store for later list/diff")
+		dir        = fs.String("dir", defaultStoreDir, "result store directory (with -store)")
+		label      = fs.String("label", "", "store label, e.g. from git describe; empty = auto run-NNN")
+		quiet      = fs.Bool("quiet", false, "suppress the live progress line and summary")
 	)
-	flag.Parse()
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		// Without this, `wbcampaign run my-spec.json` (forgotten -spec flag)
+		// would silently run the built-in default campaign.
+		fmt.Fprintf(os.Stderr, "wbcampaign run: unexpected argument %q (did you mean -spec %s?)\n", fs.Arg(0), fs.Arg(0))
+		os.Exit(2)
+	}
+	if !*store {
+		// -label/-dir only matter with -store; accepting them silently would
+		// let a forgotten -store look like a persisted run.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "label" || f.Name == "dir" {
+				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s requires -store\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
 
 	var spec campaign.Spec
 	if *specPath != "" {
+		// The spec file is the whole configuration; a spec-building flag set
+		// alongside it would be silently ignored, so make that an error
+		// (-exhaustive in particular would otherwise look applied but not be).
+		specOnly := map[string]bool{"protocols": true, "graphs": true, "adversaries": true,
+			"sizes": true, "models": true, "seeds": true, "base-seed": true, "k": true,
+			"p": true, "exhaustive": true, "max-steps": true}
+		fs.Visit(func(f *flag.Flag) {
+			if specOnly[f.Name] {
+				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s conflicts with -spec (put it in the spec file)\n", f.Name)
+				os.Exit(2)
+			}
+		})
 		var err error
 		spec, err = campaign.LoadSpec(*specPath)
 		if err != nil {
@@ -65,6 +154,11 @@ func main() {
 			BaseSeed:    *baseSeed,
 			K:           *k,
 			P:           *p,
+			MaxSteps:    *maxSteps,
+		}
+		if *exhaustive {
+			spec.Mode = campaign.ModeExhaustive
+			spec.Adversaries = nil
 		}
 	}
 
@@ -87,6 +181,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, rep.Summary())
 	}
 
+	if *store {
+		st, err := resultstore.Open(*dir)
+		if err != nil {
+			fail(err)
+		}
+		entry, err := st.Save(rep, *label)
+		if err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "stored %s (seq %d) in %s\n", entry.Ref(), entry.Seq, *dir)
+		}
+	}
+	// With -store and no -out the store is the destination; skip the stdout
+	// dump so `run -store` twice then `diff` composes quietly in scripts.
+	if *out == "" && *store {
+		if *csvPath != "" {
+			writeCSV(rep, *csvPath)
+		}
+		return
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -100,20 +215,110 @@ func main() {
 		fail(err)
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		writeCSV(rep, *csvPath)
+	}
+}
+
+func writeCSV(rep *campaign.Report, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := rep.WriteCSV(f); err != nil {
+		fail(err)
+	}
+}
+
+func listCmd(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	dir := fs.String("dir", defaultStoreDir, "result store directory")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "wbcampaign list: takes no arguments")
+		os.Exit(2)
+	}
+	st, err := resultstore.Open(*dir)
+	if err != nil {
+		fail(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		fail(err)
+	}
+	if len(entries) == 0 {
+		fmt.Printf("store %s is empty (populate it with `wbcampaign run -store`)\n", *dir)
+		return
+	}
+	fmt.Printf("%-4s %-13s %-12s %-10s %6s %6s %s\n", "SEQ", "SPEC", "LABEL", "MODE", "JOBS", "CELLS", "NAME")
+	for _, e := range entries {
+		fmt.Printf("%-4d %-13s %-12s %-10s %6d %6d %s\n",
+			e.Seq, e.SpecHash, e.Label, e.Mode, e.Jobs, e.Cells, e.Name)
+	}
+}
+
+func diffCmd(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	dir := fs.String("dir", defaultStoreDir, "result store directory")
+	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of text")
+	fs.Parse(args)
+
+	st, err := resultstore.Open(*dir)
+	if err != nil {
+		faild(err)
+	}
+	var (
+		oldEntry, newEntry resultstore.Entry
+		oldRep, newRep     *campaign.Report
+	)
+	switch fs.NArg() {
+	case 0:
+		oldEntry, newEntry, err = st.LatestPair()
 		if err != nil {
-			fail(err)
+			faild(err)
 		}
-		defer f.Close()
-		if err := rep.WriteCSV(f); err != nil {
-			fail(err)
+		if oldRep, err = st.LoadEntry(oldEntry); err != nil {
+			faild(err)
 		}
+		if newRep, err = st.LoadEntry(newEntry); err != nil {
+			faild(err)
+		}
+	case 2:
+		if oldRep, oldEntry, err = st.Load(fs.Arg(0)); err != nil {
+			faild(err)
+		}
+		if newRep, newEntry, err = st.Load(fs.Arg(1)); err != nil {
+			faild(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "wbcampaign diff: want zero refs (latest two of newest spec) or exactly two")
+		os.Exit(2)
+	}
+	d := resultstore.DiffReports(oldRep, newRep)
+	d.OldRef, d.NewRef = oldEntry.Ref(), newEntry.Ref()
+	if *asJSON {
+		err = d.WriteJSON(os.Stdout)
+	} else {
+		err = d.WriteText(os.Stdout)
+	}
+	if err != nil {
+		faild(err)
+	}
+	if !d.Empty() {
+		os.Exit(1)
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "wbcampaign:", err)
 	os.Exit(1)
+}
+
+// faild is fail for the diff subcommand, whose exit code 1 is reserved for
+// "reports differ"; operational errors exit 2.
+func faild(err error) {
+	fmt.Fprintln(os.Stderr, "wbcampaign:", err)
+	os.Exit(2)
 }
 
 // splitList splits a comma-separated flag, but keeps colon-arguments with

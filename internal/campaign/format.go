@@ -1,0 +1,11 @@
+package campaign
+
+import "strconv"
+
+// FormatFloat is the single float renderer for every human- and
+// machine-readable emission of campaign statistics: CSV cells, the CLI
+// summary line, and resultstore diff output all go through it. The
+// precision is fixed at three decimals so that two renderings of the same
+// value are always byte-identical — cross-run diffs can then compare
+// formatted strings and never churn on formatting alone.
+func FormatFloat(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadSpec drives arbitrary bytes through the whole spec pipeline —
+// LoadSpec, Normalize, Validate, NumCells — and asserts it never panics
+// and never returns an empty error message. Expand is deliberately not
+// called: a fuzzer-made spec can declare a job matrix too large to
+// materialize, and Validate is the layer that must catch bad specs.
+func FuzzLoadSpec(f *testing.F) {
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[4]}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["cycle"],"sizes":[3],"mode":"exhaustive","max_steps":100}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"protocols":[],"graphs":[],"adversaries":[],"sizes":[]}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[4],"seeds":-3}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[0,-7]}`)
+	f.Add(`{"protocols":["bffs"],"graphs":["path"],"adversaries":["min"],"sizes":[4]}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[4],"mode":"turbo"}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[4],"unknown_knob":1}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[4],"base_seed":-9223372036854775808}`)
+	f.Add(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["min"],"sizes":[999999999],"seeds":999999999}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		path := filepath.Join(t.TempDir(), "spec.json")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Skip()
+		}
+		spec, err := LoadSpec(path)
+		if err != nil {
+			if err.Error() == "" {
+				t.Error("LoadSpec returned an empty error")
+			}
+			return
+		}
+		norm := spec.Normalize()
+		if err := norm.Validate(); err != nil {
+			if err.Error() == "" {
+				t.Error("Validate returned an empty error")
+			}
+			return
+		}
+		if norm.NumCells() < 1 {
+			t.Errorf("valid spec with %d cells", norm.NumCells())
+		}
+	})
+}
+
+// TestValidateErrorsNameOffendingField pins the contract the fuzz target
+// relies on for debuggability: whatever is wrong with a spec, the error
+// names the spec field to fix.
+func TestValidateErrorsNameOffendingField(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no protocols", func(s *Spec) { s.Protocols = nil }, "protocols"},
+		{"no graphs", func(s *Spec) { s.Graphs = nil }, "graphs"},
+		{"no sizes", func(s *Spec) { s.Sizes = nil }, "sizes"},
+		{"no adversaries", func(s *Spec) { s.Adversaries = nil }, "adversaries"},
+		{"negative seeds", func(s *Spec) { s.Seeds = -3 }, "seeds"},
+		{"bad size position", func(s *Spec) { s.Sizes = []int{5, -1} }, "sizes[1]"},
+		{"negative max rounds", func(s *Spec) { s.MaxRounds = -1 }, "max_rounds"},
+		{"unknown mode", func(s *Spec) { s.Mode = "turbo" }, "mode"},
+		{"sampled max_steps", func(s *Spec) { s.MaxSteps = 10 }, "max_steps"},
+		{"exhaustive with adversaries", func(s *Spec) { s.Mode = ModeExhaustive }, "adversaries"},
+		{"exhaustive negative budget", func(s *Spec) {
+			s.Mode = ModeExhaustive
+			s.Adversaries = nil
+			s.MaxSteps = -5
+		}, "max_steps"},
+		{"typo protocol", func(s *Spec) { s.Protocols = []string{"bffs"} }, "protocols"},
+		{"typo graph", func(s *Spec) { s.Graphs = []string{"cyle"} }, "graphs"},
+		{"typo adversary", func(s *Spec) { s.Adversaries = []string{"minn"} }, "adversaries"},
+		{"typo model", func(s *Spec) { s.Models = []string{"TURBO"} }, "models"},
+	}
+	for _, c := range cases {
+		spec := testSpec()
+		c.mutate(&spec)
+		err := spec.Normalize().Validate()
+		if err == nil {
+			t.Errorf("%s: spec accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// goldenSampledReport is a hand-built sampled report: synthetic numbers,
+// no engine involvement, so the golden files pin the *format* alone.
+func goldenSampledReport() *Report {
+	spec := Spec{
+		Name:        "golden-sampled",
+		Protocols:   []string{"bfs"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min", "scripted:2,1,3"}, // comma exercises CSV quoting
+		Sizes:       []int{3},
+		Seeds:       2,
+	}.Normalize()
+	return &Report{
+		Spec: spec,
+		Jobs: 4,
+		Cells: []Cell{
+			{
+				Protocol: "bfs", Graph: "path", N: 3, Adversary: "min", Model: "native",
+				Runs: 2, Success: 2,
+				Rounds:         Dist{Min: 4, Max: 4, Mean: 4},
+				BoardBits:      Dist{Min: 36, Max: 36, Mean: 36},
+				MaxMessageBits: 13,
+			},
+			{
+				Protocol: "bfs", Graph: "path", N: 3, Adversary: "scripted:2,1,3", Model: "native",
+				Runs: 2, Success: 1, Failed: 1,
+				Rounds:         Dist{Min: 4, Max: 5, Mean: 4.5},
+				BoardBits:      Dist{Min: 30, Max: 36, Mean: 33},
+				MaxMessageBits: 13,
+				FirstError:     "engine: adversary \"scripted\" chose 3, not a candidate [1 2]",
+			},
+		},
+		Totals: Totals{Runs: 4, Success: 3, Failed: 1},
+	}
+}
+
+// goldenExhaustiveReport is the exhaustive-mode sibling, with the
+// schedule-level block and a mean that exercises the 3-decimal rendering.
+func goldenExhaustiveReport() *Report {
+	spec := Spec{
+		Name:      "golden-exhaustive",
+		Protocols: []string{"connectivity"},
+		Graphs:    []string{"cycle"},
+		Sizes:     []int{4},
+		Mode:      ModeExhaustive,
+	}.Normalize()
+	return &Report{
+		Spec: spec,
+		Jobs: 1,
+		Cells: []Cell{
+			{
+				Protocol: "connectivity", Graph: "cycle", N: 4, Adversary: "exhaustive", Model: "native",
+				Runs: 1, Success: 1,
+				Rounds:         Dist{Min: 5, Max: 6, Mean: 5.333333333333333},
+				BoardBits:      Dist{Min: 44, Max: 48, Mean: 46.25},
+				MaxMessageBits: 14,
+				Exhaustive: &ExhaustiveCell{
+					Schedules: 24, Steps: 64, Success: 24, DistinctOutputs: 1,
+				},
+			},
+		},
+		Totals: Totals{Runs: 1, Success: 1},
+	}
+}
+
+func TestReportGoldenFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  *Report
+	}{
+		{"report_sampled", goldenSampledReport()},
+		{"report_exhaustive", goldenExhaustiveReport()},
+	}
+	for _, c := range cases {
+		var jsonBuf, csvBuf bytes.Buffer
+		if err := c.rep.WriteJSON(&jsonBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.rep.WriteCSV(&csvBuf); err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckGolden(t, c.name+".json", jsonBuf.Bytes())
+		testutil.CheckGolden(t, c.name+".csv", csvBuf.Bytes())
+	}
+}
+
+// TestFormatFloatPrecision pins the shared helper the CSV, summary and
+// diff renderings rely on: fixed three decimals, no exponent form, so a
+// value renders identically wherever it appears.
+func TestFormatFloatPrecision(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.000"},
+		{4.5, "4.500"},
+		{5.333333333333333, "5.333"},
+		{1.0 / 3.0, "0.333"},
+		{123456789, "123456789.000"},
+		{-2.00049, "-2.000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

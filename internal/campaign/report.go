@@ -33,22 +33,59 @@ func (d *Dist) add(v int) {
 	d.Mean = float64(d.sum) / float64(d.n)
 }
 
+// merge folds a pre-aggregated batch (min, max, sum over n values) into the
+// distribution; exhaustive jobs use it to contribute all their schedules at
+// once. Like add, the mean is recomputed from exact integer accumulators.
+func (d *Dist) merge(min, max int, sum, n int64) {
+	if n == 0 {
+		return
+	}
+	if min < d.Min {
+		d.Min = min
+	}
+	if max > d.Max {
+		d.Max = max
+	}
+	d.sum += sum
+	d.n += n
+	d.Mean = float64(d.sum) / float64(d.n)
+}
+
 // Cell aggregates all trials of one (protocol, graph, n, adversary, model)
-// coordinate.
+// coordinate. In an exhaustive cell (adversary "exhaustive") the Rounds and
+// BoardBits distributions range over every terminal schedule of every
+// trial — the min/max are the best and worst the adversary can force — and
+// Exhaustive carries the schedule-level tallies.
 type Cell struct {
-	Protocol       string `json:"protocol"`
-	Graph          string `json:"graph"`
-	N              int    `json:"n"`
-	Adversary      string `json:"adversary"`
-	Model          string `json:"model"`
-	Runs           int    `json:"runs"`
-	Success        int    `json:"success"`
-	Deadlock       int    `json:"deadlock"`
-	Failed         int    `json:"failed"`
-	Rounds         Dist   `json:"rounds"`
-	BoardBits      Dist   `json:"board_bits"`
-	MaxMessageBits int    `json:"max_message_bits"`
-	FirstError     string `json:"first_error,omitempty"`
+	Protocol       string          `json:"protocol"`
+	Graph          string          `json:"graph"`
+	N              int             `json:"n"`
+	Adversary      string          `json:"adversary"`
+	Model          string          `json:"model"`
+	Runs           int             `json:"runs"`
+	Success        int             `json:"success"`
+	Deadlock       int             `json:"deadlock"`
+	Failed         int             `json:"failed"`
+	Rounds         Dist            `json:"rounds"`
+	BoardBits      Dist            `json:"board_bits"`
+	MaxMessageBits int             `json:"max_message_bits"`
+	FirstError     string          `json:"first_error,omitempty"`
+	Exhaustive     *ExhaustiveCell `json:"exhaustive,omitempty"`
+}
+
+// ExhaustiveCell tallies the schedule enumeration of an exhaustive cell,
+// summed over the cell's trials. Success/Deadlock/Failed count schedules
+// (the Cell's own counters count trials, where one bad schedule taints the
+// whole trial); DistinctOutputs counts distinct successful outputs, summed
+// per trial since different trials may enumerate different random graphs.
+type ExhaustiveCell struct {
+	Schedules       int  `json:"schedules"`
+	Steps           int  `json:"steps"`
+	Success         int  `json:"success"`
+	Deadlock        int  `json:"deadlock"`
+	Failed          int  `json:"failed"`
+	DistinctOutputs int  `json:"distinct_outputs"`
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 // Totals sums outcome counts across all cells.
@@ -85,23 +122,29 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV emits one row per cell in matrix order. Fields containing
-// commas (e.g. adversary "scripted:3,1,2") are quoted per RFC 4180.
+// commas (e.g. adversary "scripted:3,1,2") are quoted per RFC 4180. The
+// schedules column is 0 for sampled cells.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"protocol", "graph", "n", "adversary", "model",
 		"runs", "success", "deadlock", "failed",
 		"rounds_min", "rounds_mean", "rounds_max",
-		"board_bits_min", "board_bits_mean", "board_bits_max", "max_message_bits"}
+		"board_bits_min", "board_bits_mean", "board_bits_max", "max_message_bits",
+		"schedules"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
+		schedules := 0
+		if c.Exhaustive != nil {
+			schedules = c.Exhaustive.Schedules
+		}
 		row := []string{c.Protocol, c.Graph, itoa(c.N), c.Adversary, c.Model,
 			itoa(c.Runs), itoa(c.Success), itoa(c.Deadlock), itoa(c.Failed),
-			itoa(c.Rounds.Min), ftoa(c.Rounds.Mean), itoa(c.Rounds.Max),
-			itoa(c.BoardBits.Min), ftoa(c.BoardBits.Mean), itoa(c.BoardBits.Max),
-			itoa(c.MaxMessageBits)}
+			itoa(c.Rounds.Min), FormatFloat(c.Rounds.Mean), itoa(c.Rounds.Max),
+			itoa(c.BoardBits.Min), FormatFloat(c.BoardBits.Mean), itoa(c.BoardBits.Max),
+			itoa(c.MaxMessageBits), itoa(schedules)}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -110,12 +153,15 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-func itoa(v int) string     { return strconv.Itoa(v) }
-func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func itoa(v int) string { return strconv.Itoa(v) }
 
 // Summary returns a one-line human summary for CLI output.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%d jobs over %d cells: %d success, %d deadlock, %d failed (%d workers, %v)",
-		r.Totals.Runs, len(r.Cells), r.Totals.Success, r.Totals.Deadlock, r.Totals.Failed,
+	rate := 0.0
+	if r.Totals.Runs > 0 {
+		rate = 100 * float64(r.Totals.Success) / float64(r.Totals.Runs)
+	}
+	return fmt.Sprintf("%d jobs over %d cells: %d success (%s%%), %d deadlock, %d failed (%d workers, %v)",
+		r.Totals.Runs, len(r.Cells), r.Totals.Success, FormatFloat(rate), r.Totals.Deadlock, r.Totals.Failed,
 		r.Workers, r.Elapsed.Round(time.Millisecond))
 }

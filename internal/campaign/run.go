@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -32,6 +33,27 @@ type jobResult struct {
 	boardBits int
 	maxBits   int
 	err       string
+	sched     *schedStats // exhaustive jobs only
+}
+
+// schedStats aggregates every terminal schedule of one exhaustive job
+// (one graph instance enumerated by engine.RunAll). The min/max/sum
+// accumulators feed the cell's Rounds/BoardBits distributions, so in
+// exhaustive cells those dists range over schedules, not trials.
+type schedStats struct {
+	schedules int
+	steps     int
+	success   int
+	deadlock  int
+	failed    int
+	outputs   int // distinct successful outputs
+	budgetHit bool
+
+	roundsMin, roundsMax int
+	roundsSum            int64
+	bitsMin, bitsMax     int
+	bitsSum              int64
+	maxBitsOnBoard       int // largest single message across all terminal boards
 }
 
 // Run expands the spec and executes every job on a sharded worker pool.
@@ -70,7 +92,11 @@ func Run(spec Spec, opts Options) (*Report, error) {
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runJob(runner, rng, spec, jobs[i])
+				if spec.Exhaustive() {
+					results[i] = runExhaustiveJob(rng, spec, jobs[i])
+				} else {
+					results[i] = runJob(runner, rng, spec, jobs[i])
+				}
 				if opts.OnProgress != nil {
 					// Increment under the same lock as the callback so the
 					// counts the callback sees are strictly monotonic.
@@ -140,6 +166,103 @@ func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobRe
 	return jr
 }
 
+// runExhaustiveJob enumerates every adversarial schedule of one graph
+// instance with engine.RunAll and folds the terminal results into schedule
+// statistics. The job-level status renders the ∀-adversary verdict: Success
+// only if *every* schedule succeeded within budget, Deadlock if some
+// schedule deadlocked, Failed on any model violation, livelock, or an
+// exhausted step budget.
+func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr = jobResult{status: core.Failed, err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	params := registry.Params{N: job.N, K: spec.K, P: spec.P, Seed: job.Seed}
+	rng.Seed(job.Seed)
+	g, err := registry.NewGraph(job.Graph, params, rng)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	params.N = g.N()
+	params.Seed = subSeed(job.Seed, 0x70726F746F636F6C) // "protocol"
+	proto, err := registry.NewProtocol(job.Protocol, params)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+	model, err := registry.ParseModel(job.Model)
+	if err != nil {
+		return jobResult{status: core.Failed, err: err.Error()}
+	}
+
+	ss := &schedStats{roundsMin: int(^uint(0) >> 1), bitsMin: int(^uint(0) >> 1)}
+	outputs := map[string]struct{}{}
+	stats, runErr := engine.RunAll(proto, g,
+		engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
+		func(res *core.Result, _ []int) error {
+			ss.schedules++
+			switch res.Status {
+			case core.Success:
+				ss.success++
+				outputs[fmt.Sprintf("%v", res.Output)] = struct{}{}
+			case core.Deadlock:
+				ss.deadlock++
+			default:
+				ss.failed++
+			}
+			ss.addSchedule(res)
+			return nil
+		})
+	ss.steps = stats.Steps
+	ss.outputs = len(outputs)
+
+	// The cell's round/bit dists are fed from ss by aggregate; only maxBits
+	// rides the shared jobResult field.
+	jr = jobResult{sched: ss, maxBits: ss.maxBitsOnBoard}
+	switch {
+	case errors.Is(runErr, engine.ErrBudget):
+		ss.budgetHit = true
+		jr.status = core.Failed
+		jr.err = fmt.Sprintf("exhaustive budget of %d steps exhausted after %d schedules", spec.MaxSteps, ss.schedules)
+	case runErr != nil:
+		jr.status = core.Failed
+		jr.err = runErr.Error()
+	case ss.failed > 0:
+		jr.status = core.Failed
+		jr.err = fmt.Sprintf("%d of %d schedules violated a model constraint", ss.failed, ss.schedules)
+	case ss.deadlock > 0:
+		jr.status = core.Deadlock
+	default:
+		jr.status = core.Success
+	}
+	return jr
+}
+
+// addSchedule folds one terminal schedule into the accumulators.
+func (ss *schedStats) addSchedule(res *core.Result) {
+	r := res.Rounds
+	if r < ss.roundsMin {
+		ss.roundsMin = r
+	}
+	if r > ss.roundsMax {
+		ss.roundsMax = r
+	}
+	ss.roundsSum += int64(r)
+	bits := res.Board.TotalBits()
+	if bits < ss.bitsMin {
+		ss.bitsMin = bits
+	}
+	if bits > ss.bitsMax {
+		ss.bitsMax = bits
+	}
+	ss.bitsSum += int64(bits)
+	for i := 0; i < res.Board.Len(); i++ {
+		if b := res.Board.At(i).Bits; b > ss.maxBitsOnBoard {
+			ss.maxBitsOnBoard = b
+		}
+	}
+}
+
 // aggregate folds per-job results into per-cell statistics, walking jobs in
 // matrix order so the output is deterministic.
 func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
@@ -151,6 +274,11 @@ func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
 			c.Model, c.N = job.Model, job.N
 			c.Rounds = newDist()
 			c.BoardBits = newDist()
+			if spec.Exhaustive() {
+				// Every exhaustive cell carries its block, even if all its
+				// trials died before enumerating a single schedule.
+				c.Exhaustive = &ExhaustiveCell{}
+			}
 		}
 		r := results[i]
 		c.Runs++
@@ -165,14 +293,42 @@ func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
 				c.FirstError = r.err
 			}
 		}
-		c.Rounds.add(r.rounds)
-		c.BoardBits.add(r.boardBits)
+		switch {
+		case r.sched != nil:
+			// Exhaustive job: the cell dists range over terminal schedules.
+			e := c.Exhaustive
+			e.Schedules += r.sched.schedules
+			e.Steps += r.sched.steps
+			e.Success += r.sched.success
+			e.Deadlock += r.sched.deadlock
+			e.Failed += r.sched.failed
+			e.DistinctOutputs += r.sched.outputs
+			e.BudgetExhausted = e.BudgetExhausted || r.sched.budgetHit
+			c.Rounds.merge(r.sched.roundsMin, r.sched.roundsMax, r.sched.roundsSum, int64(r.sched.schedules))
+			c.BoardBits.merge(r.sched.bitsMin, r.sched.bitsMax, r.sched.bitsSum, int64(r.sched.schedules))
+		case spec.Exhaustive():
+			// An exhaustive trial that died before enumeration (construction
+			// error, panic) has no schedules; a synthetic 0-round sample
+			// would corrupt the over-schedules distribution, so add nothing.
+		default:
+			c.Rounds.add(r.rounds)
+			c.BoardBits.add(r.boardBits)
+		}
 		if r.maxBits > c.MaxMessageBits {
 			c.MaxMessageBits = r.maxBits
 		}
 	}
 	rep := &Report{Spec: spec, Jobs: len(jobs), Cells: cells}
 	for i := range cells {
+		// An exhaustive cell whose budget died before the first terminal
+		// schedule has empty dists; zero them so the sentinel min (maxint)
+		// never reaches a report.
+		if cells[i].Rounds.n == 0 {
+			cells[i].Rounds = Dist{}
+		}
+		if cells[i].BoardBits.n == 0 {
+			cells[i].BoardBits = Dist{}
+		}
 		rep.Totals.Runs += cells[i].Runs
 		rep.Totals.Success += cells[i].Success
 		rep.Totals.Deadlock += cells[i].Deadlock

@@ -28,10 +28,11 @@ type Spec struct {
 	// Name labels the campaign in reports.
 	Name string `json:"name,omitempty"`
 	// Protocols, Graphs and Adversaries are registry names (adversaries may
-	// carry colon-arguments such as "stubborn:1").
+	// carry colon-arguments such as "stubborn:1"). Adversaries must be empty
+	// in exhaustive mode, which enumerates every schedule instead.
 	Protocols   []string `json:"protocols"`
 	Graphs      []string `json:"graphs"`
-	Adversaries []string `json:"adversaries"`
+	Adversaries []string `json:"adversaries,omitempty"`
 	// Sizes is the node-count sweep.
 	Sizes []int `json:"sizes"`
 	// Models optionally forces each run under a model ("SIMASYNC", "SIMSYNC",
@@ -49,13 +50,46 @@ type Spec struct {
 	P float64 `json:"p,omitempty"`
 	// MaxRounds bounds each run; 0 means the engine default (4n+16).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Mode selects how each cell is executed. "" (or "sampled") runs one
+	// adversary per cell — the classic path. "exhaustive" enumerates every
+	// adversarial schedule per cell via engine.RunAll, making the paper's
+	// ∀-adversary quantifier literal for small n: the Adversaries axis must
+	// then be empty (all schedules run, no adversary chooses), and the cell's
+	// round/bit distributions range over schedules instead of trials.
+	Mode string `json:"mode,omitempty"`
+	// MaxSteps bounds the total simulated writes per exhaustive job
+	// (engine.RunAll's budget); 0 means DefaultMaxSteps. Exceeding it marks
+	// the trial Failed rather than hanging the campaign. Ignored when sampled.
+	MaxSteps int `json:"max_steps,omitempty"`
 }
+
+// ModeExhaustive is the Spec.Mode value requesting full schedule
+// enumeration; the empty string (or "sampled") selects sampled execution.
+const ModeExhaustive = "exhaustive"
+
+// DefaultMaxSteps is the per-job engine.RunAll write budget used when an
+// exhaustive spec leaves MaxSteps at zero.
+const DefaultMaxSteps = 200_000
+
+// exhaustiveAdversary is the pseudo adversary label exhaustive cells carry
+// in jobs, cells and reports, where a sampled cell names a registry entry.
+const exhaustiveAdversary = "exhaustive"
+
+// Exhaustive reports whether the spec requests full schedule enumeration.
+func (s Spec) Exhaustive() bool { return s.Mode == ModeExhaustive }
 
 // Normalize returns the spec with defaults filled in, so that reports echo
 // the exact configuration that ran.
 func (s Spec) Normalize() Spec {
 	if s.Seeds == 0 {
 		s.Seeds = 1
+	}
+	if s.Mode == "sampled" {
+		// Canonicalize the explicit spelling so equivalent specs hash alike.
+		s.Mode = ""
+	}
+	if s.Exhaustive() && s.MaxSteps == 0 {
+		s.MaxSteps = DefaultMaxSteps
 	}
 	if len(s.Models) == 0 {
 		s.Models = []string{"native"}
@@ -77,39 +111,97 @@ func (s Spec) Normalize() Spec {
 // Validate checks the normalized spec: non-empty axes, positive sizes and
 // seeds, and every name resolvable in the registry (including a dry
 // construction of each component, so typos fail before any job runs, with
-// the registry's did-you-mean message).
+// the registry's did-you-mean message). Every error names the offending
+// spec field so a bad JSON file is fixable from the message alone.
 func (s Spec) Validate() error {
-	if len(s.Protocols) == 0 || len(s.Graphs) == 0 || len(s.Adversaries) == 0 || len(s.Sizes) == 0 {
-		return fmt.Errorf("campaign: spec needs at least one protocol, graph, adversary and size")
+	if s.Mode != "" && s.Mode != ModeExhaustive {
+		return fmt.Errorf(`campaign: mode %q is not "sampled" or "exhaustive"`, s.Mode)
+	}
+	if len(s.Protocols) == 0 {
+		return fmt.Errorf("campaign: protocols: at least one is required")
+	}
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("campaign: graphs: at least one is required")
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("campaign: sizes: at least one is required")
+	}
+	if s.Exhaustive() {
+		if len(s.Adversaries) > 0 {
+			return fmt.Errorf("campaign: adversaries: exhaustive mode enumerates every schedule; remove the adversaries axis")
+		}
+		if s.MaxSteps < 1 {
+			return fmt.Errorf("campaign: max_steps must be ≥ 1, got %d", s.MaxSteps)
+		}
+	} else {
+		if len(s.Adversaries) == 0 {
+			return fmt.Errorf("campaign: adversaries: at least one is required (or set mode to %q)", ModeExhaustive)
+		}
+		if s.MaxSteps != 0 {
+			return fmt.Errorf("campaign: max_steps is only meaningful in exhaustive mode")
+		}
 	}
 	if s.Seeds < 1 {
 		return fmt.Errorf("campaign: seeds must be ≥ 1, got %d", s.Seeds)
 	}
-	for _, n := range s.Sizes {
+	for i, n := range s.Sizes {
 		if n < 1 {
-			return fmt.Errorf("campaign: size %d is not a positive node count", n)
+			return fmt.Errorf("campaign: sizes[%d] = %d is not a positive node count", i, n)
 		}
 	}
-	params := registry.Params{N: s.Sizes[0], K: s.K, P: s.P, Seed: 1}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("campaign: max_rounds must be ≥ 0, got %d", s.MaxRounds)
+	}
+	// The dry construction exists to resolve names and parse arguments, not
+	// to build at scale: clamp the probe size so validating a huge sweep
+	// doesn't allocate a huge graph.
+	probeN := s.Sizes[0]
+	if probeN > 64 {
+		probeN = 64
+	}
+	params := registry.Params{N: probeN, K: s.K, P: s.P, Seed: 1}
 	for _, name := range s.Protocols {
-		if _, err := registry.NewProtocol(name, params); err != nil {
-			return fmt.Errorf("campaign: %w", err)
+		if err := probe("protocols", func() error {
+			_, err := registry.NewProtocol(name, params)
+			return err
+		}); err != nil {
+			return err
 		}
 	}
 	for _, name := range s.Graphs {
-		if _, err := registry.NewGraph(name, params, nil); err != nil {
-			return fmt.Errorf("campaign: %w", err)
+		if err := probe("graphs", func() error {
+			_, err := registry.NewGraph(name, params, nil)
+			return err
+		}); err != nil {
+			return err
 		}
 	}
 	for _, name := range s.Adversaries {
-		if _, err := registry.NewAdversary(name, params); err != nil {
-			return fmt.Errorf("campaign: %w", err)
+		if err := probe("adversaries", func() error {
+			_, err := registry.NewAdversary(name, params)
+			return err
+		}); err != nil {
+			return err
 		}
 	}
 	for _, m := range s.Models {
 		if _, err := registry.ParseModel(m); err != nil {
-			return fmt.Errorf("campaign: %w", err)
+			return fmt.Errorf("campaign: models: %w", err)
 		}
+	}
+	return nil
+}
+
+// probe runs one dry construction, converting both errors and generator
+// panics (e.g. "cycle needs n ≥ 3") into errors naming the spec field.
+func probe(field string, build func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: %s: %v", field, r)
+		}
+	}()
+	if e := build(); e != nil {
+		return fmt.Errorf("campaign: %s: %w", field, e)
 	}
 	return nil
 }
@@ -143,18 +235,29 @@ type Job struct {
 	Cell      int // index into the report's cell list
 }
 
+// adversaryAxis is the adversary sweep dimension: the spec's list when
+// sampled, the single pseudo entry when exhaustive (every cell enumerates
+// all schedules, so there is nothing to sweep).
+func (s Spec) adversaryAxis() []string {
+	if s.Exhaustive() {
+		return []string{exhaustiveAdversary}
+	}
+	return s.Adversaries
+}
+
 // Expand flattens the normalized spec into its job matrix, in the fixed
 // order protocol → graph → size → adversary → model → trial. Cell indices
 // follow the same order, so aggregation is position-based and independent
 // of execution order.
 func (s Spec) Expand() []Job {
+	advs := s.adversaryAxis()
 	jobs := make([]Job, 0,
-		len(s.Protocols)*len(s.Graphs)*len(s.Sizes)*len(s.Adversaries)*len(s.Models)*s.Seeds)
+		len(s.Protocols)*len(s.Graphs)*len(s.Sizes)*len(advs)*len(s.Models)*s.Seeds)
 	cell := 0
 	for _, proto := range s.Protocols {
 		for _, g := range s.Graphs {
 			for _, n := range s.Sizes {
-				for _, adv := range s.Adversaries {
+				for _, adv := range advs {
 					for _, model := range s.Models {
 						for t := 0; t < s.Seeds; t++ {
 							jobs = append(jobs, Job{
@@ -174,7 +277,7 @@ func (s Spec) Expand() []Job {
 
 // NumCells returns the number of aggregation cells the spec expands to.
 func (s Spec) NumCells() int {
-	return len(s.Protocols) * len(s.Graphs) * len(s.Sizes) * len(s.Adversaries) * len(s.Models)
+	return len(s.Protocols) * len(s.Graphs) * len(s.Sizes) * len(s.adversaryAxis()) * len(s.Models)
 }
 
 // deriveSeed maps a job's coordinates to a seed, deterministically and

@@ -234,7 +234,9 @@ type AllStats struct {
 // overridden) model and calls check on each terminal Result. It stops at the
 // first check error (returning it) or when maxSteps simulated writes are
 // exceeded (returning ErrBudget). check receives the write order alongside
-// the result.
+// the result. opts.MaxRounds bounds each schedule exactly as in Run (0
+// means the 4n+16 default); exceeding it aborts the exploration with an
+// error, since a too-deep branch means every deeper branch is suspect too.
 func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 	check func(res *core.Result, order []int) error) (AllStats, error) {
 
@@ -243,6 +245,10 @@ func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 	model := p.Model()
 	if opts.Model != nil {
 		model = *opts.Model
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 16
 	}
 	budget := p.MaxMessageBits(n)
 	stats := AllStats{}
@@ -255,8 +261,8 @@ func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 
 	var explore func(f frame, round int) error
 	explore = func(f frame, round int) error {
-		if round > 4*n+16 {
-			return fmt.Errorf("engine: RunAll livelock after %d rounds (order %v)", round, f.order)
+		if round > maxRounds {
+			return fmt.Errorf("engine: RunAll exceeded %d rounds (order %v)", maxRounds, f.order)
 		}
 		// Activation phase (deterministic; mutate in place).
 		for v := 1; v <= n; v++ {

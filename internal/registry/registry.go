@@ -30,6 +30,7 @@ import (
 	"repro/internal/protocols/randcliques"
 	"repro/internal/protocols/subgraphf"
 	"repro/internal/protocols/twocliques"
+	"repro/internal/reductions"
 )
 
 // Params carries the shared construction parameters. Every builder reads
@@ -129,6 +130,54 @@ func init() {
 				bits = b
 			}
 			return randcliques.Protocol{Seed: uint64(p.Seed), Bits: bits}, nil
+		}})
+
+	// Reduction/oracle protocols (internal/reductions): the maximal-
+	// information oracles from the paper's introduction and the Theorem 3/6
+	// prime transformations instantiated over them, so campaigns can sweep
+	// the degenerate O(n)-bit top of the message-size hierarchy next to the
+	// O(log n) protocols it dominates.
+	registerProtocol(ProtocolEntry{"oracle-triangle", "SIMASYNC[n+log n] full-adjacency TRIANGLE oracle (§1 observation)", "",
+		func(Params) (core.Protocol, error) { return reductions.OracleTriangle{}, nil }})
+	registerProtocol(ProtocolEntry{"oracle-square", "SIMASYNC[n+log n] full-adjacency SQUARE oracle", "",
+		func(Params) (core.Protocol, error) { return reductions.OracleSquare{}, nil }})
+	registerProtocol(ProtocolEntry{"oracle-bfs", "SIMASYNC[n+log n] full-adjacency BFS oracle (Theorem 8 hypothesis)", "",
+		func(Params) (core.Protocol, error) { return reductions.OracleBFS{}, nil }})
+	registerProtocol(ProtocolEntry{"oracle-mis", "SIMASYNC[n+log n] full-adjacency rooted-MIS oracle; root = k clamped to [1,n]", "k, n",
+		func(p Params) (core.Protocol, error) {
+			root := p.K
+			if root < 1 || (p.N > 0 && root > p.N) {
+				root = 1
+			}
+			return reductions.OracleMIS{Root: root}, nil
+		}})
+	registerProtocol(ProtocolEntry{"triangle-prime", "Theorem 3 BUILD-from-TRIANGLE transformation over the adjacency oracle (triangle-free inputs)", "",
+		func(Params) (core.Protocol, error) {
+			return reductions.TrianglePrime{Inner: reductions.OracleTriangle{}}, nil
+		}})
+	registerProtocol(ProtocolEntry{"square-prime", "Theorem-3-style BUILD-from-SQUARE transformation over the adjacency oracle (C4-free inputs)", "",
+		func(Params) (core.Protocol, error) {
+			return reductions.SquarePrime{Inner: reductions.OracleSquare{}}, nil
+		}})
+	registerProtocol(ProtocolEntry{"mis-prime", "Theorem 6 BUILD-from-MIS transformation over the adjacency oracle", "n",
+		func(p Params) (core.Protocol, error) {
+			// The inner rooted-MIS protocol runs on the n+1-node gadget with
+			// the fresh node n+1 as root.
+			return reductions.MISPrime{Inner: reductions.OracleMIS{Root: p.N + 1}}, nil
+		}})
+	registerProtocol(ProtocolEntry{"lemma4", "lemma4:<inner> serializes a SIMSYNC protocol into ASYNC by ID-order activation (Lemma 4)", "arg",
+		func(p Params) (core.Protocol, error) {
+			if p.Arg == "" {
+				return nil, fmt.Errorf("registry: lemma4 wants an inner protocol, e.g. lemma4:mis")
+			}
+			inner, err := NewProtocol(p.Arg, Params{N: p.N, K: p.K, P: p.P, Seed: p.Seed})
+			if err != nil {
+				return nil, err
+			}
+			if inner.Model() != core.SimSync {
+				return nil, fmt.Errorf("registry: lemma4 inner protocol %q is %s, want SIMSYNC", inner.Name(), inner.Model())
+			}
+			return reductions.SimSyncAsAsync{Inner: inner}, nil
 		}})
 
 	registerGraph(GraphEntry{"path", "path on n nodes", "n",

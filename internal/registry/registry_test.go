@@ -7,10 +7,18 @@ import (
 )
 
 // TestEveryProtocolConstructsWithDefaults exercises each registered
-// protocol name with default params.
+// protocol name with default params, supplying the colon-argument where
+// the schema wants one.
 func TestEveryProtocolConstructsWithDefaults(t *testing.T) {
+	specFor := map[string]string{
+		"lemma4": "lemma4:mis",
+	}
 	for _, name := range Protocols() {
-		p, err := NewProtocol(name, Params{})
+		spec := name
+		if s, ok := specFor[name]; ok {
+			spec = s
+		}
+		p, err := NewProtocol(spec, Params{})
 		if err != nil {
 			t.Errorf("protocol %q: %v", name, err)
 			continue
@@ -87,9 +95,10 @@ func TestScriptedAdversaryOrder(t *testing.T) {
 }
 
 func TestBadColonArguments(t *testing.T) {
-	for _, spec := range []string{"stubborn:", "stubborn:xyz", "scripted:", "scripted:1,a", "rand-cliques:0", "rand-cliques:x"} {
+	for _, spec := range []string{"stubborn:", "stubborn:xyz", "scripted:", "scripted:1,a", "rand-cliques:0", "rand-cliques:x",
+		"lemma4:", "lemma4:nope", "lemma4:bfs" /* bfs is SYNC, not SIMSYNC */} {
 		var err error
-		if strings.HasPrefix(spec, "rand-cliques") {
+		if strings.HasPrefix(spec, "rand-cliques") || strings.HasPrefix(spec, "lemma4") {
 			_, err = NewProtocol(spec, Params{})
 		} else {
 			_, err = NewAdversary(spec, Params{})
@@ -97,6 +106,31 @@ func TestBadColonArguments(t *testing.T) {
 		if err == nil {
 			t.Errorf("%q: want error, got none", spec)
 		}
+	}
+}
+
+// TestReductionProtocolsRunEndToEnd constructs the newly registered
+// reduction/oracle protocols the way a campaign cell would and checks
+// they carry the paper's Θ(n)-bit message budget.
+func TestReductionProtocolsRunEndToEnd(t *testing.T) {
+	for _, name := range []string{"oracle-triangle", "oracle-square", "oracle-bfs", "oracle-mis",
+		"triangle-prime", "square-prime", "mis-prime"} {
+		p, err := NewProtocol(name, Params{N: 8, K: 1})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.MaxMessageBits(8) <= 8 {
+			t.Errorf("%s: budget %d at n=8, want Θ(n)-bit messages", name, p.MaxMessageBits(8))
+		}
+	}
+	// lemma4's wrapper must report the translated model.
+	p, err := NewProtocol("lemma4:mis", Params{N: 8, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model().Asynchronous() != true {
+		t.Errorf("lemma4:mis model = %v, want an asynchronous model", p.Model())
 	}
 }
 

@@ -1,0 +1,135 @@
+package resultstore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/testutil"
+)
+
+// baseReport builds the synthetic "old" report the diff cases perturb.
+func baseReport() *campaign.Report {
+	spec := campaign.Spec{
+		Name:        "diff-golden",
+		Protocols:   []string{"bfs", "mis"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min"},
+		Sizes:       []int{4},
+	}.Normalize()
+	return &campaign.Report{
+		Spec: spec,
+		Jobs: 2,
+		Cells: []campaign.Cell{
+			{
+				Protocol: "bfs", Graph: "path", N: 4, Adversary: "min", Model: "native",
+				Runs: 1, Success: 1,
+				Rounds:         campaign.Dist{Min: 5, Max: 5, Mean: 5},
+				BoardBits:      campaign.Dist{Min: 52, Max: 52, Mean: 52},
+				MaxMessageBits: 13,
+			},
+			{
+				Protocol: "mis", Graph: "path", N: 4, Adversary: "min", Model: "native",
+				Runs: 1, Success: 1,
+				Rounds:         campaign.Dist{Min: 5, Max: 5, Mean: 5},
+				BoardBits:      campaign.Dist{Min: 12, Max: 12, Mean: 12},
+				MaxMessageBits: 3,
+			},
+		},
+		Totals: campaign.Totals{Runs: 2, Success: 2},
+	}
+}
+
+// perturbedReport is the "new" run after a protocol constant regressed:
+// the bfs cell got slower and fatter, the mis cell was replaced by a
+// two-cliques cell (changed sweep axis).
+func perturbedReport() *campaign.Report {
+	rep := baseReport()
+	rep.Cells[0].Rounds = campaign.Dist{Min: 5, Max: 7, Mean: 6}
+	rep.Cells[0].BoardBits = campaign.Dist{Min: 52, Max: 60, Mean: 56}
+	rep.Cells[0].MaxMessageBits = 21
+	rep.Cells[0].Success = 0
+	rep.Cells[0].Deadlock = 1
+	rep.Cells[1] = campaign.Cell{
+		Protocol: "two-cliques", Graph: "path", N: 4, Adversary: "min", Model: "native",
+		Runs: 1, Success: 1,
+		Rounds:         campaign.Dist{Min: 5, Max: 5, Mean: 5},
+		BoardBits:      campaign.Dist{Min: 20, Max: 20, Mean: 20},
+		MaxMessageBits: 5,
+	}
+	return rep
+}
+
+func TestDiffIdenticalReportsIsEmpty(t *testing.T) {
+	d := DiffReports(baseReport(), baseReport())
+	if !d.Empty() {
+		t.Fatalf("identical reports produced deltas: %+v", d.Deltas)
+	}
+	if d.CellsCompared != 2 {
+		t.Errorf("compared %d cells, want 2", d.CellsCompared)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckGolden(t, "diff_empty.txt", buf.Bytes())
+}
+
+func TestDiffRenderingGoldenFiles(t *testing.T) {
+	d := DiffReports(baseReport(), perturbedReport())
+	d.OldRef, d.NewRef = "abc123def456/run-001", "abc123def456/run-002"
+	if d.Empty() {
+		t.Fatal("perturbed report produced no deltas")
+	}
+	var txt, js bytes.Buffer
+	if err := d.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckGolden(t, "diff_perturbed.txt", txt.Bytes())
+	testutil.CheckGolden(t, "diff_perturbed.json", js.Bytes())
+}
+
+// TestDiffSeesExhaustiveStats pins that schedule-level tallies are
+// diffable: a change in schedule count or budget exhaustion is a delta.
+func TestDiffSeesExhaustiveStats(t *testing.T) {
+	old := baseReport()
+	old.Cells = old.Cells[:1]
+	old.Cells[0].Adversary = "exhaustive"
+	old.Cells[0].Exhaustive = &campaign.ExhaustiveCell{Schedules: 24, Steps: 64, Success: 24, DistinctOutputs: 1}
+	cur := baseReport()
+	cur.Cells = cur.Cells[:1]
+	cur.Cells[0].Adversary = "exhaustive"
+	cur.Cells[0].Exhaustive = &campaign.ExhaustiveCell{Schedules: 18, Steps: 50, Success: 18, DistinctOutputs: 2, BudgetExhausted: true}
+	d := DiffReports(old, cur)
+	if d.Empty() {
+		t.Fatal("exhaustive stat changes produced no deltas")
+	}
+	fields := map[string]bool{}
+	for _, f := range d.Deltas[0].Fields {
+		fields[f.Field] = true
+	}
+	for _, want := range []string{"schedules", "steps", "sched_success", "distinct_outputs", "budget_exhausted"} {
+		if !fields[want] {
+			t.Errorf("missing %q delta; got %v", want, d.Deltas[0].Fields)
+		}
+	}
+}
+
+// TestDiffMeanComparesFormattedValues pins the anti-churn rule: means that
+// render identically at the shared precision are equal, even if the
+// float64 bits differ.
+func TestDiffMeanComparesFormattedValues(t *testing.T) {
+	old := baseReport()
+	cur := baseReport()
+	cur.Cells[0].Rounds.Mean = old.Cells[0].Rounds.Mean + 1e-9
+	if d := DiffReports(old, cur); !d.Empty() {
+		t.Errorf("sub-precision mean drift produced deltas: %+v", d.Deltas)
+	}
+	cur.Cells[0].Rounds.Mean = old.Cells[0].Rounds.Mean + 0.001
+	if d := DiffReports(old, cur); d.Empty() {
+		t.Error("mean drift at rendering precision produced no delta")
+	}
+}

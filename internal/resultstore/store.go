@@ -1,0 +1,378 @@
+// Package resultstore persists campaign reports on disk and diffs them
+// across runs, making regressions in round or bit complexity
+// machine-detectable between code revisions. Storage is content-addressed
+// by spec: a report lands under the SHA-256 hash of its normalized spec,
+// tagged with a git-describe-style label, so runs of the same campaign at
+// different revisions line up automatically and `Diff` can report per-cell
+// deltas in rounds, bits, outcome counts and schedule tallies.
+//
+// Layout (everything is plain JSON, safe to inspect and to commit):
+//
+//	<dir>/<spec-hash>/<label>.json    one stored run (envelope + report)
+//
+// Labels are caller-chosen ("v1.2-3-gabc123") or auto-assigned sequence
+// numbers ("run-001"); a store-wide monotone sequence recorded in each
+// envelope orders runs without trusting file mtimes.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// Entry identifies one stored run.
+type Entry struct {
+	// SpecHash groups runs of the same normalized spec.
+	SpecHash string `json:"spec_hash"`
+	// Label distinguishes runs within a spec group ("run-001", "v2-g3f9a").
+	Label string `json:"label"`
+	// Seq is the store-wide save order; higher is newer. Saves racing from
+	// separate processes can tie (each scans the store for the next number);
+	// List breaks ties deterministically by ref.
+	Seq int `json:"seq"`
+	// Name echoes the campaign's name for listings.
+	Name string `json:"name,omitempty"`
+	// Jobs and Cells echo the report's shape for listings.
+	Jobs  int `json:"jobs"`
+	Cells int `json:"cells"`
+	// Mode is "exhaustive" or "sampled".
+	Mode string `json:"mode"`
+}
+
+// Ref renders the entry's canonical reference, accepted by Load.
+func (e Entry) Ref() string { return e.SpecHash + "/" + e.Label }
+
+// envelope is the on-disk document: the entry plus the full report.
+type envelope struct {
+	Entry
+	Report *campaign.Report `json:"report"`
+}
+
+// Store is a directory of stored campaign runs.
+type Store struct {
+	dir string
+}
+
+// Open returns a Store rooted at dir, creating it if necessary.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SpecHash returns the content address of a spec: the first 12 hex digits
+// of the SHA-256 of its normalized canonical JSON, with the cosmetic Name
+// blanked. Two specs that expand to the same job matrix hash alike
+// regardless of spelled-out defaults — and renaming a campaign does not
+// sever its diff lineage.
+func SpecHash(spec campaign.Spec) string {
+	norm := spec.Normalize()
+	norm.Name = ""
+	data, err := json.Marshal(norm)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("resultstore: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// validLabel guards the label's use as a file name.
+func validLabel(label string) error {
+	if label == "" {
+		return fmt.Errorf("resultstore: empty label")
+	}
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '+':
+		default:
+			return fmt.Errorf("resultstore: label %q: only [A-Za-z0-9._+-] allowed", label)
+		}
+	}
+	if strings.HasPrefix(label, ".") {
+		return fmt.Errorf("resultstore: label %q must not start with a dot", label)
+	}
+	return nil
+}
+
+// Save stores a report under its spec hash. An empty label auto-assigns
+// "run-NNN" from the store-wide sequence; a non-empty label that already
+// exists for this spec is an error (stored runs are immutable). Saves
+// racing from separate processes are safe: the final file appears
+// atomically, and an auto-labeled save that loses a run-NNN race rescans
+// and retries with the next number.
+func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
+	auto := label == ""
+	if !auto {
+		if err := validLabel(label); err != nil {
+			return Entry{}, err
+		}
+	}
+	hash := SpecHash(rep.Spec)
+	mode := "sampled"
+	if rep.Spec.Exhaustive() {
+		mode = campaign.ModeExhaustive
+	}
+	dir := filepath.Join(s.dir, hash)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		entries, err := s.List()
+		if err != nil {
+			return Entry{}, err
+		}
+		seq := 1
+		for _, e := range entries {
+			if e.Seq >= seq {
+				seq = e.Seq + 1
+			}
+		}
+		lbl := label
+		if auto {
+			lbl = fmt.Sprintf("run-%03d", seq)
+		}
+		env := envelope{
+			Entry: Entry{
+				SpecHash: hash, Label: lbl, Seq: seq,
+				Name: rep.Spec.Name, Jobs: rep.Jobs, Cells: len(rep.Cells), Mode: mode,
+			},
+			Report: rep,
+		}
+		entry, err := s.write(dir, env)
+		if err == nil {
+			return entry, nil
+		}
+		if os.IsExist(err) {
+			// Another process took this label between our List and Link.
+			// For auto labels, rescan and take the next number; a label the
+			// caller chose is a genuine immutability violation.
+			if auto && attempt < 8 {
+				continue
+			}
+			return Entry{}, fmt.Errorf("resultstore: %s/%s already exists (stored runs are immutable; pick a new label)", hash, lbl)
+		}
+		return Entry{}, err
+	}
+}
+
+// write persists one envelope, creating <dir>/<label>.json atomically.
+// The full document goes to a uniquely named sibling temp file first, then
+// is hard-linked to its final name: the link is atomic (a killed save can
+// never leave a truncated .json that bricks every later List) and fails
+// with os.IsExist when the label is taken, so the filesystem enforces
+// create-once even across processes. List ignores the .tmp suffix, so an
+// orphaned temp file is inert.
+func (s *Store) write(dir string, env envelope) (Entry, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	tf, err := os.CreateTemp(dir, env.Label+".*.tmp")
+	if err != nil {
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	tmp := tf.Name()
+	defer os.Remove(tmp)
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		tf.Close()
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Link(tmp, filepath.Join(dir, env.Label+".json")); err != nil {
+		if os.IsExist(err) {
+			return Entry{}, err // Save distinguishes this case for retry
+		}
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	return env.Entry, nil
+}
+
+// List returns every stored entry, oldest first (by sequence, then by
+// ref for entries predating the sequence).
+func (s *Store) List() ([]Entry, error) {
+	groups, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []Entry
+	for _, g := range groups {
+		if !g.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, g.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			e, err := s.readEntry(filepath.Join(s.dir, g.Name(), f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Ref() < out[j].Ref()
+	})
+	return out, nil
+}
+
+// readEntry parses just the metadata of a stored envelope — List (and so
+// Save's sequence scan) run over every file in the store, and must not pay
+// to materialize every report's cell tree.
+func (s *Store) readEntry(path string) (Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("resultstore: parsing %s: %w", path, err)
+	}
+	return e, nil
+}
+
+// read parses one stored envelope.
+func (s *Store) read(path string) (*envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("resultstore: parsing %s: %w", path, err)
+	}
+	if env.Report == nil {
+		return nil, fmt.Errorf("resultstore: %s holds no report", path)
+	}
+	return &env, nil
+}
+
+// Load resolves a reference to a stored run. Accepted forms:
+//
+//	<hash>/<label>   exact
+//	<label>          unique label across the whole store
+//	<hash>           the newest run in that spec group
+//
+// Hashes may be abbreviated to any unique prefix of ≥ 4 hex digits.
+func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
+	entries, err := s.List()
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	var matches []Entry
+	if hash, label, ok := strings.Cut(ref, "/"); ok {
+		for _, e := range entries {
+			if e.Label == label && strings.HasPrefix(e.SpecHash, hash) {
+				matches = append(matches, e)
+			}
+		}
+	} else {
+		for _, e := range entries {
+			if e.Label == ref {
+				matches = append(matches, e)
+			}
+		}
+		if len(matches) == 0 && len(ref) >= 4 {
+			// Newest run of the spec group named by a hash prefix — but only
+			// if the prefix names exactly one group; two groups sharing the
+			// prefix must error rather than silently diff the wrong campaign.
+			newest := map[string]Entry{}
+			for _, e := range entries {
+				if strings.HasPrefix(e.SpecHash, ref) {
+					if best, ok := newest[e.SpecHash]; !ok || e.Seq > best.Seq {
+						newest[e.SpecHash] = e
+					}
+				}
+			}
+			if len(newest) > 1 {
+				hashes := make([]string, 0, len(newest))
+				for h := range newest {
+					hashes = append(hashes, h)
+				}
+				sort.Strings(hashes)
+				return nil, Entry{}, fmt.Errorf("resultstore: hash prefix %q is ambiguous: %s", ref, strings.Join(hashes, ", "))
+			}
+			for _, e := range newest {
+				matches = append(matches, e)
+			}
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return nil, Entry{}, fmt.Errorf("resultstore: no stored run matches %q (use `list` to see refs)", ref)
+	case 1:
+		rep, err := s.LoadEntry(matches[0])
+		if err != nil {
+			return nil, Entry{}, err
+		}
+		return rep, matches[0], nil
+	default:
+		refs := make([]string, len(matches))
+		for i, e := range matches {
+			refs[i] = e.Ref()
+		}
+		return nil, Entry{}, fmt.Errorf("resultstore: %q is ambiguous: %s", ref, strings.Join(refs, ", "))
+	}
+}
+
+// LoadEntry reads the report of an already-resolved entry directly,
+// without rescanning the store the way ref resolution must.
+func (s *Store) LoadEntry(e Entry) (*campaign.Report, error) {
+	env, err := s.read(filepath.Join(s.dir, e.SpecHash, e.Label+".json"))
+	if err != nil {
+		return nil, err
+	}
+	return env.Report, nil
+}
+
+// LatestPair returns the two newest runs that share the spec hash of the
+// newest run overall — the natural operands of a no-argument diff.
+func (s *Store) LatestPair() (old, latest Entry, err error) {
+	entries, err := s.List()
+	if err != nil {
+		return Entry{}, Entry{}, err
+	}
+	if len(entries) == 0 {
+		return Entry{}, Entry{}, fmt.Errorf("resultstore: store is empty")
+	}
+	latest = entries[len(entries)-1]
+	for i := len(entries) - 2; i >= 0; i-- {
+		if entries[i].SpecHash == latest.SpecHash {
+			return entries[i], latest, nil
+		}
+	}
+	return Entry{}, Entry{}, fmt.Errorf("resultstore: only one stored run of spec %s (%s); need two to diff",
+		latest.SpecHash, latest.Label)
+}

@@ -1,0 +1,203 @@
+package resultstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// runSmoke executes a small deterministic campaign for store round-trips.
+func runSmoke(t *testing.T) *campaign.Report {
+	t.Helper()
+	rep, err := campaign.Run(campaign.Spec{
+		Name:        "store-test",
+		Protocols:   []string{"build-forest"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min"},
+		Sizes:       []int{4, 5},
+	}, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	e1, err := st.Save(rep, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Label != "run-001" || e1.Seq != 1 {
+		t.Fatalf("first save: %+v", e1)
+	}
+	if e1.SpecHash != SpecHash(rep.Spec) {
+		t.Fatalf("entry hash %s != SpecHash %s", e1.SpecHash, SpecHash(rep.Spec))
+	}
+	loaded, entry, err := st.Load(e1.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != e1 {
+		t.Fatalf("loaded entry %+v != saved %+v", entry, e1)
+	}
+	// The persisted report must render byte-identically to the original:
+	// the store is a time machine, not a lossy cache.
+	var orig, back bytes.Buffer
+	if err := rep.WriteJSON(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteJSON(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Error("report did not survive the store round trip byte-identically")
+	}
+}
+
+func TestSpecHashNormalizes(t *testing.T) {
+	a := campaign.Spec{Protocols: []string{"bfs"}, Graphs: []string{"path"}, Adversaries: []string{"min"}, Sizes: []int{4}}
+	b := a
+	b.Seeds = 1                   // the normalized default
+	b.Models = []string{"native"} // likewise
+	b.Mode = "sampled"            // canonical spelling of ""
+	if SpecHash(a) != SpecHash(b) {
+		t.Error("specs that normalize identically hash differently")
+	}
+	renamed := a
+	renamed.Name = "new-name" // cosmetic: same job matrix, same lineage
+	if SpecHash(a) != SpecHash(renamed) {
+		t.Error("renaming a campaign changed its spec hash")
+	}
+	c := a
+	c.Sizes = []int{5}
+	if SpecHash(a) == SpecHash(c) {
+		t.Error("different sweeps hash identically")
+	}
+}
+
+func TestSaveRefusesDuplicateLabelAndBadLabels(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	if _, err := st.Save(rep, "v1.0-2-gabc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, "v1.0-2-gabc123"); err == nil || !strings.Contains(err.Error(), "immutable") {
+		t.Errorf("duplicate label: got %v", err)
+	}
+	// "" is not here: an empty label is valid input and auto-assigns run-NNN.
+	for _, bad := range []string{"a/b", "..", ".hidden", "sp ace"} {
+		if _, err := st.Save(rep, bad); err == nil {
+			t.Errorf("label %q accepted", bad)
+		}
+	}
+}
+
+func TestListOrderAndLatestPair(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	if _, _, err := st.LatestPair(); err == nil {
+		t.Error("LatestPair on empty store succeeded")
+	}
+	if _, err := st.Save(rep, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LatestPair(); err == nil {
+		t.Error("LatestPair with a single run succeeded")
+	}
+	// A run of a different spec lands in another group and must not pair
+	// with the newest run of the first spec.
+	other := runSmoke(t)
+	other.Spec.Sizes = []int{4}
+	if _, err := st.Save(other, "odd-one-out"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, "second"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Label != "first" || entries[2].Label != "second" {
+		t.Fatalf("list order: %+v", entries)
+	}
+	old, latest, err := st.LatestPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Label != "first" || latest.Label != "second" {
+		t.Errorf("LatestPair = %s → %s, want first → second", old.Label, latest.Label)
+	}
+}
+
+func TestLoadRefForms(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	e, err := st.Save(rep, "tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []string{e.Ref(), "tagged", e.SpecHash, e.SpecHash[:6], e.SpecHash[:6] + "/tagged"} {
+		if _, got, err := st.Load(ref); err != nil || got.Label != "tagged" {
+			t.Errorf("Load(%q) = %+v, %v", ref, got, err)
+		}
+	}
+	if _, _, err := st.Load("nope"); err == nil {
+		t.Error("unknown ref loaded")
+	}
+	// Same label in two spec groups is ambiguous as a bare ref.
+	other := runSmoke(t)
+	other.Spec.Sizes = []int{4}
+	if _, err := st.Save(other, "tagged"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load("tagged"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous ref: got %v", err)
+	}
+}
+
+// TestStoredRunsDiffClean is the end-to-end contract behind the CI gate:
+// store two runs of the same spec, diff them, expect zero deltas.
+func TestStoredRunsDiffClean(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(runSmoke(t), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(runSmoke(t), ""); err != nil {
+		t.Fatal(err)
+	}
+	old, latest, err := st.LatestPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRep, _, err := st.Load(old.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, _, err := st.Load(latest.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffReports(oldRep, newRep); !d.Empty() {
+		t.Errorf("re-running the same spec produced deltas: %+v", d.Deltas)
+	}
+}

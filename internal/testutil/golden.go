@@ -1,0 +1,38 @@
+// Package testutil holds helpers shared by this repository's test suites.
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// CheckGolden compares got against testdata/<name> in the calling
+// package's directory, rewriting the file when the test binary runs with
+// -update. Keeping renderings under golden files makes every format
+// change a deliberate, reviewed diff — the result store persists these
+// bytes across runs, so accidental churn would poison cross-run diffs.
+func CheckGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run the package's tests with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s\n(intended? rerun with -update)", name, want, got)
+	}
+}
