@@ -72,8 +72,8 @@ func usage(w *os.File) {
   diff  compare two stored runs cell by cell (exit 1 when they differ)
 
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
-           [-exhaustive] [-max-steps N] [-store] [-dir DIR] [-label L]
-           [-workers N] [-out FILE] [-csv FILE] [-quiet]
+           [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
+           [-label L] [-workers N] [-out FILE] [-csv FILE] [-quiet]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
 `)
@@ -94,6 +94,7 @@ func runCmd(args []string) {
 		p          = fs.Float64("p", 0.3, "edge probability for random graphs")
 		exhaustive = fs.Bool("exhaustive", false, "enumerate every adversarial schedule per cell (ignores -adversaries; small n only)")
 		maxSteps   = fs.Int("max-steps", 0, "per-job write budget in exhaustive mode; 0 = default")
+		memoize    = fs.Bool("memoize", true, "collapse identical configurations during exhaustive enumeration (exact schedule multiplicities); false = naive tree walk")
 		workers    = fs.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
 		out        = fs.String("out", "", "JSON report path; empty = stdout (unless -store)")
 		csvPath    = fs.String("csv", "", "also write a CSV report here")
@@ -127,7 +128,7 @@ func runCmd(args []string) {
 		// (-exhaustive in particular would otherwise look applied but not be).
 		specOnly := map[string]bool{"protocols": true, "graphs": true, "adversaries": true,
 			"sizes": true, "models": true, "seeds": true, "base-seed": true, "k": true,
-			"p": true, "exhaustive": true, "max-steps": true}
+			"p": true, "exhaustive": true, "max-steps": true, "memoize": true}
 		fs.Visit(func(f *flag.Flag) {
 			if specOnly[f.Name] {
 				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s conflicts with -spec (put it in the spec file)\n", f.Name)
@@ -140,6 +141,16 @@ func runCmd(args []string) {
 			fail(err)
 		}
 	} else {
+		if !*exhaustive {
+			// -memoize without -exhaustive would be silently meaningless;
+			// Validate rejects the resulting spec, but say it in CLI terms.
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "memoize" {
+					fmt.Fprintln(os.Stderr, "wbcampaign run: -memoize requires -exhaustive")
+					os.Exit(2)
+				}
+			})
+		}
 		ns, err := parseSizes(*sizes)
 		if err != nil {
 			fail(err)
@@ -159,6 +170,7 @@ func runCmd(args []string) {
 		if *exhaustive {
 			spec.Mode = campaign.ModeExhaustive
 			spec.Adversaries = nil
+			spec.Memoize = memoize
 		}
 	}
 

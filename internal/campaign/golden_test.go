@@ -43,7 +43,8 @@ func goldenSampledReport() *Report {
 }
 
 // goldenExhaustiveReport is the exhaustive-mode sibling, with the
-// schedule-level block and a mean that exercises the 3-decimal rendering.
+// schedule-level block (memoized-strategy dedup fields included) and a
+// mean that exercises the 3-decimal rendering.
 func goldenExhaustiveReport() *Report {
 	spec := Spec{
 		Name:      "golden-exhaustive",
@@ -51,6 +52,38 @@ func goldenExhaustiveReport() *Report {
 		Graphs:    []string{"cycle"},
 		Sizes:     []int{4},
 		Mode:      ModeExhaustive,
+	}.Normalize()
+	return &Report{
+		Spec: spec,
+		Jobs: 1,
+		Cells: []Cell{
+			{
+				Protocol: "connectivity", Graph: "cycle", N: 4, Adversary: "exhaustive", Model: "native",
+				Runs: 1, Success: 1,
+				Rounds:         Dist{Min: 5, Max: 6, Mean: 5.333333333333333},
+				BoardBits:      Dist{Min: 44, Max: 48, Mean: 46.25},
+				MaxMessageBits: 14,
+				Exhaustive: &ExhaustiveCell{
+					Schedules: 24, Steps: 40, Success: 24, DistinctOutputs: 1,
+					Classes: 21, StepsSaved: 24,
+				},
+			},
+		},
+		Totals: Totals{Runs: 1, Success: 1},
+	}
+}
+
+// goldenExhaustiveNaiveReport pins the memoize:false rendering: the spec
+// echoes the explicit toggle and the cell's dedup fields are omitted.
+func goldenExhaustiveNaiveReport() *Report {
+	naive := false
+	spec := Spec{
+		Name:      "golden-exhaustive-naive",
+		Protocols: []string{"connectivity"},
+		Graphs:    []string{"cycle"},
+		Sizes:     []int{4},
+		Mode:      ModeExhaustive,
+		Memoize:   &naive,
 	}.Normalize()
 	return &Report{
 		Spec: spec,
@@ -78,6 +111,7 @@ func TestReportGoldenFiles(t *testing.T) {
 	}{
 		{"report_sampled", goldenSampledReport()},
 		{"report_exhaustive", goldenExhaustiveReport()},
+		{"report_exhaustive_naive", goldenExhaustiveNaiveReport()},
 	}
 	for _, c := range cases {
 		var jsonBuf, csvBuf bytes.Buffer

@@ -78,6 +78,10 @@ type Cell struct {
 // (the Cell's own counters count trials, where one bad schedule taints the
 // whole trial); DistinctOutputs counts distinct successful outputs, summed
 // per trial since different trials may enumerate different random graphs.
+// Under the memoized strategy (spec "memoize", the default) Steps counts
+// only unique simulated writes, Classes the configuration classes visited,
+// and StepsSaved the writes the naive tree walk would have added — the
+// schedule tallies themselves are exact either way.
 type ExhaustiveCell struct {
 	Schedules       int  `json:"schedules"`
 	Steps           int  `json:"steps"`
@@ -86,6 +90,8 @@ type ExhaustiveCell struct {
 	Failed          int  `json:"failed"`
 	DistinctOutputs int  `json:"distinct_outputs"`
 	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	Classes         int  `json:"classes,omitempty"`
+	StepsSaved      int  `json:"steps_saved,omitempty"`
 }
 
 // Totals sums outcome counts across all cells.
@@ -123,28 +129,31 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // WriteCSV emits one row per cell in matrix order. Fields containing
 // commas (e.g. adversary "scripted:3,1,2") are quoted per RFC 4180. The
-// schedules column is 0 for sampled cells.
+// schedules/classes/steps_saved columns are 0 for sampled cells (and the
+// latter two for naive exhaustive cells).
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"protocol", "graph", "n", "adversary", "model",
 		"runs", "success", "deadlock", "failed",
 		"rounds_min", "rounds_mean", "rounds_max",
 		"board_bits_min", "board_bits_mean", "board_bits_max", "max_message_bits",
-		"schedules"}
+		"schedules", "classes", "steps_saved"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
-		schedules := 0
+		schedules, classes, stepsSaved := 0, 0, 0
 		if c.Exhaustive != nil {
 			schedules = c.Exhaustive.Schedules
+			classes = c.Exhaustive.Classes
+			stepsSaved = c.Exhaustive.StepsSaved
 		}
 		row := []string{c.Protocol, c.Graph, itoa(c.N), c.Adversary, c.Model,
 			itoa(c.Runs), itoa(c.Success), itoa(c.Deadlock), itoa(c.Failed),
 			itoa(c.Rounds.Min), FormatFloat(c.Rounds.Mean), itoa(c.Rounds.Max),
 			itoa(c.BoardBits.Min), FormatFloat(c.BoardBits.Mean), itoa(c.BoardBits.Max),
-			itoa(c.MaxMessageBits), itoa(schedules)}
+			itoa(c.MaxMessageBits), itoa(schedules), itoa(classes), itoa(stepsSaved)}
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -37,9 +38,12 @@ type jobResult struct {
 }
 
 // schedStats aggregates every terminal schedule of one exhaustive job
-// (one graph instance enumerated by engine.RunAll). The min/max/sum
+// (one graph instance enumerated exhaustively). The min/max/sum
 // accumulators feed the cell's Rounds/BoardBits distributions, so in
-// exhaustive cells those dists range over schedules, not trials.
+// exhaustive cells those dists range over schedules, not trials. Under the
+// memoized strategy each terminal configuration class is folded once with
+// its exact schedule multiplicity as the weight, which reproduces the
+// naive per-schedule accumulation bit for bit.
 type schedStats struct {
 	schedules int
 	steps     int
@@ -48,6 +52,9 @@ type schedStats struct {
 	failed    int
 	outputs   int // distinct successful outputs
 	budgetHit bool
+
+	classes    int // configuration classes visited (memoized walks only)
+	stepsSaved int // writes the naive tree walk would have added
 
 	roundsMin, roundsMax int
 	roundsSum            int64
@@ -167,11 +174,14 @@ func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobRe
 }
 
 // runExhaustiveJob enumerates every adversarial schedule of one graph
-// instance with engine.RunAll and folds the terminal results into schedule
-// statistics. The job-level status renders the ∀-adversary verdict: Success
-// only if *every* schedule succeeded within budget, Deadlock if some
-// schedule deadlocked, Failed on any model violation, livelock, or an
-// exhausted step budget.
+// instance — through the memoized configuration DAG (engine.RunAllMemo,
+// the default) or the naive schedule tree (engine.RunAll, memoize: false)
+// — and folds the terminal results into schedule statistics. The two
+// strategies produce identical tallies; only steps, classes and
+// steps-saved reflect the traversal. The job-level status renders the
+// ∀-adversary verdict: Success only if *every* schedule succeeded within
+// budget, Deadlock if some schedule deadlocked, Failed on any model
+// violation, livelock, or an exhausted step budget.
 func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -197,23 +207,50 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 
 	ss := &schedStats{roundsMin: int(^uint(0) >> 1), bitsMin: int(^uint(0) >> 1)}
 	outputs := map[string]struct{}{}
-	stats, runErr := engine.RunAll(proto, g,
-		engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
-		func(res *core.Result, _ []int) error {
-			ss.schedules++
-			switch res.Status {
-			case core.Success:
-				ss.success++
-				outputs[fmt.Sprintf("%v", res.Output)] = struct{}{}
-			case core.Deadlock:
-				ss.deadlock++
-			default:
-				ss.failed++
-			}
-			ss.addSchedule(res)
-			return nil
-		})
-	ss.steps = stats.Steps
+	tally := func(res *core.Result, weight int) {
+		ss.schedules += weight
+		switch res.Status {
+		case core.Success:
+			ss.success += weight
+			outputs[fmt.Sprintf("%v", res.Output)] = struct{}{}
+		case core.Deadlock:
+			ss.deadlock += weight
+		default:
+			ss.failed += weight
+		}
+		ss.addSchedule(res, weight)
+	}
+	var runErr error
+	if *spec.Memoize {
+		var mstats engine.MemoStats
+		mstats, runErr = engine.RunAllMemo(proto, g,
+			engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
+			func(res *core.Result, mult *big.Int) error {
+				w, err := engine.IntFromBig(mult)
+				if err != nil {
+					return err
+				}
+				tally(res, w)
+				return nil
+			})
+		ss.steps = mstats.Steps
+		ss.classes = mstats.Classes
+		saved := new(big.Int).Sub(mstats.NaiveSteps, big.NewInt(int64(mstats.Steps)))
+		if v, err := engine.IntFromBig(saved); err == nil {
+			ss.stepsSaved = v
+		} else {
+			ss.stepsSaved = int(^uint(0) >> 1) // diagnostic only: saturate
+		}
+	} else {
+		var stats engine.AllStats
+		stats, runErr = engine.RunAll(proto, g,
+			engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
+			func(res *core.Result, _ []int) error {
+				tally(res, 1)
+				return nil
+			})
+		ss.steps = stats.Steps
+	}
 	ss.outputs = len(outputs)
 
 	// The cell's round/bit dists are fed from ss by aggregate; only maxBits
@@ -238,8 +275,9 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 	return jr
 }
 
-// addSchedule folds one terminal schedule into the accumulators.
-func (ss *schedStats) addSchedule(res *core.Result) {
+// addSchedule folds one terminal result, standing for weight identical
+// schedules, into the accumulators.
+func (ss *schedStats) addSchedule(res *core.Result, weight int) {
 	r := res.Rounds
 	if r < ss.roundsMin {
 		ss.roundsMin = r
@@ -247,7 +285,7 @@ func (ss *schedStats) addSchedule(res *core.Result) {
 	if r > ss.roundsMax {
 		ss.roundsMax = r
 	}
-	ss.roundsSum += int64(r)
+	ss.roundsSum += int64(r) * int64(weight)
 	bits := res.Board.TotalBits()
 	if bits < ss.bitsMin {
 		ss.bitsMin = bits
@@ -255,7 +293,7 @@ func (ss *schedStats) addSchedule(res *core.Result) {
 	if bits > ss.bitsMax {
 		ss.bitsMax = bits
 	}
-	ss.bitsSum += int64(bits)
+	ss.bitsSum += int64(bits) * int64(weight)
 	for i := 0; i < res.Board.Len(); i++ {
 		if b := res.Board.At(i).Bits; b > ss.maxBitsOnBoard {
 			ss.maxBitsOnBoard = b
@@ -304,6 +342,8 @@ func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
 			e.Failed += r.sched.failed
 			e.DistinctOutputs += r.sched.outputs
 			e.BudgetExhausted = e.BudgetExhausted || r.sched.budgetHit
+			e.Classes += r.sched.classes
+			e.StepsSaved += r.sched.stepsSaved
 			c.Rounds.merge(r.sched.roundsMin, r.sched.roundsMax, r.sched.roundsSum, int64(r.sched.schedules))
 			c.BoardBits.merge(r.sched.bitsMin, r.sched.bitsMax, r.sched.bitsSum, int64(r.sched.schedules))
 		case spec.Exhaustive():

@@ -58,9 +58,17 @@ type Spec struct {
 	// round/bit distributions range over schedules instead of trials.
 	Mode string `json:"mode,omitempty"`
 	// MaxSteps bounds the total simulated writes per exhaustive job
-	// (engine.RunAll's budget); 0 means DefaultMaxSteps. Exceeding it marks
+	// (the enumeration budget); 0 means DefaultMaxSteps. Exceeding it marks
 	// the trial Failed rather than hanging the campaign. Ignored when sampled.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Memoize selects the exhaustive traversal strategy. nil defaults to
+	// true: the schedule tree is collapsed into a DAG over canonical
+	// (board, node-state, pending-message) configurations with exact
+	// schedule multiplicities (engine.RunAllMemo), which leaves every tally
+	// bit-identical to the naive enumeration while spending the MaxSteps
+	// budget only on unique writes. Set false to force the naive tree walk
+	// (engine.RunAll). Only meaningful in exhaustive mode.
+	Memoize *bool `json:"memoize,omitempty"`
 }
 
 // ModeExhaustive is the Spec.Mode value requesting full schedule
@@ -90,6 +98,10 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.Exhaustive() && s.MaxSteps == 0 {
 		s.MaxSteps = DefaultMaxSteps
+	}
+	if s.Exhaustive() && s.Memoize == nil {
+		memoize := true
+		s.Memoize = &memoize
 	}
 	if len(s.Models) == 0 {
 		s.Models = []string{"native"}
@@ -139,6 +151,9 @@ func (s Spec) Validate() error {
 		}
 		if s.MaxSteps != 0 {
 			return fmt.Errorf("campaign: max_steps is only meaningful in exhaustive mode")
+		}
+		if s.Memoize != nil {
+			return fmt.Errorf("campaign: memoize is only meaningful in exhaustive mode")
 		}
 	}
 	if s.Seeds < 1 {

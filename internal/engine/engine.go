@@ -43,6 +43,11 @@ type Options struct {
 	// DisableBudget skips the MaxMessageBits enforcement (used by
 	// diagnostics that intentionally overrun).
 	DisableBudget bool
+	// Exhaustive selects the traversal strategy for exhaustive exploration
+	// (OutputSpectrum and the campaign's exhaustive cells). The zero value
+	// is the memoized DAG walk; ExhaustiveNaive re-walks the full schedule
+	// tree. Ignored by Run/RunConcurrent, which follow a single adversary.
+	Exhaustive ExhaustiveStrategy
 }
 
 // ModelPtr is a convenience for Options.Model.
@@ -232,11 +237,15 @@ type AllStats struct {
 
 // RunAll explores every adversarial schedule of p on g under the (possibly
 // overridden) model and calls check on each terminal Result. It stops at the
-// first check error (returning it) or when maxSteps simulated writes are
-// exceeded (returning ErrBudget). check receives the write order alongside
-// the result. opts.MaxRounds bounds each schedule exactly as in Run (0
-// means the 4n+16 default); exceeding it aborts the exploration with an
-// error, since a too-deep branch means every deeper branch is suspect too.
+// first check error (returning it) or when the budget of maxSteps simulated
+// writes is exhausted (returning ErrBudget with stats.Steps == maxSteps:
+// exactly maxSteps writes were simulated, the first over-budget write is
+// never executed). check receives the write order alongside the result.
+// opts.MaxRounds bounds each schedule exactly as in Run (0 means the 4n+16
+// default); exceeding it aborts the exploration with an error, since a
+// too-deep branch means every deeper branch is suspect too. RunAll is the
+// naive tree walk — RunAllMemo explores the same space as a DAG over
+// canonical configurations with exact multiplicities.
 func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 	check func(res *core.Result, order []int) error) (AllStats, error) {
 
@@ -302,10 +311,10 @@ func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 			return check(res, f.order)
 		}
 		for _, chosen := range candidates {
-			stats.Steps++
-			if stats.Steps > maxSteps {
+			if stats.Steps == maxSteps {
 				return ErrBudget
 			}
+			stats.Steps++
 			var m core.Message
 			if model.Asynchronous() {
 				m = f.st.pending[chosen]

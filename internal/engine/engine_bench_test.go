@@ -2,11 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/protocols/mis"
 )
 
 // BenchmarkRun measures raw engine overhead with a near-free protocol.
@@ -55,6 +57,45 @@ func BenchmarkRunAll(b *testing.B) {
 				schedules = stats.Schedules
 			}
 			b.ReportMetric(float64(schedules), "schedules")
+		})
+	}
+}
+
+// BenchmarkExhaustiveStrategies compares the naive tree walk with the
+// memoized DAG walk on rooted MIS over cycles — a protocol whose message
+// contents coincide across writers, so the configuration space genuinely
+// collapses (the per-op steps metric shows the asymptotic gap; allocs show
+// the memoizer's key/frontier overhead).
+func BenchmarkExhaustiveStrategies(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		g := graph.Cycle(n)
+		p := mis.Protocol{Root: 1}
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var steps int
+			for i := 0; i < b.N; i++ {
+				stats, err := RunAll(p, g, Options{}, 1<<26,
+					func(*core.Result, []int) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = stats.Steps
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+		b.Run(fmt.Sprintf("memo/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats MemoStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				stats, err = RunAllMemo(p, g, Options{}, 1<<26,
+					func(*core.Result, *big.Int) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Steps), "steps")
+			b.ReportMetric(float64(stats.Classes), "classes")
 		})
 	}
 }

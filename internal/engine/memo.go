@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ExhaustiveStrategy selects how exhaustive exploration (OutputSpectrum,
+// and through it the campaign's exhaustive cells) traverses the space of
+// adversarial schedules.
+type ExhaustiveStrategy int
+
+const (
+	// ExhaustiveMemoized — the default — collapses the schedule tree into a
+	// DAG over canonical configurations: every class of write orders that
+	// reaches the same (board, node-state, pending-message) configuration is
+	// explored once, and exact schedule multiplicities are propagated to the
+	// terminal outcomes. Tallies are bit-for-bit identical to the naive
+	// enumeration; only the number of simulated writes shrinks.
+	ExhaustiveMemoized ExhaustiveStrategy = iota
+	// ExhaustiveNaive re-walks the full schedule tree, one simulated write
+	// per tree edge. It is the reference the memoized walk is differentially
+	// tested against, and the escape hatch if a protocol ever breaks the
+	// determinism contract the memoization relies on.
+	ExhaustiveNaive
+)
+
+// ErrMultiplicityOverflow is returned when an exact schedule multiplicity
+// does not fit the int tallies of a Spectrum or campaign cell. The memoized
+// walk stays exact-or-error: it never saturates a tally silently.
+var ErrMultiplicityOverflow = errors.New("engine: schedule multiplicity overflows int tally")
+
+// MemoStats summarizes a memoized exhaustive exploration.
+type MemoStats struct {
+	// Classes counts distinct configuration classes visited (DAG nodes),
+	// terminals included.
+	Classes int
+	// Steps counts unique simulated writes (DAG edges) — the quantity the
+	// maxSteps budget bounds.
+	Steps int
+	// Schedules is the exact number of terminal schedules, i.e. the sum of
+	// path multiplicities over terminal classes. It equals the naive walk's
+	// schedule count whenever that walk fits its budget.
+	Schedules *big.Int
+	// NaiveSteps is the number of writes the naive tree walk would have
+	// simulated: the multiplicity-weighted edge count of the DAG.
+	NaiveSteps *big.Int
+}
+
+// appendConfigKey appends an injective encoding of a configuration — the
+// ordered board, the per-node states, and (for asynchronous models, where
+// messages freeze at activation) the pending message of every active node —
+// to buf and returns the extended slice. Every variable-length component is
+// length-prefixed, so distinct configurations can never encode alike; the
+// board's human-oriented Key() has no such guarantee (a message whose data
+// embeds the separator can mimic two messages), which is why the memoizer
+// must not use it. Message data is keyed verbatim, trailing padding bytes
+// included: protocols may read Data beyond Bits, so two messages equal as
+// bit strings but not as byte slices are distinguishable and must not be
+// merged.
+func appendConfigKey(buf []byte, board *core.Board, st *state, includePending bool) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(st.state)-1))
+	buf = binary.AppendUvarint(buf, uint64(board.Len()))
+	for i := 0; i < board.Len(); i++ {
+		buf = appendMessage(buf, board.At(i))
+	}
+	for v := 1; v < len(st.state); v++ {
+		buf = append(buf, byte(st.state[v]))
+		if includePending && st.state[v] == active {
+			buf = appendMessage(buf, st.pending[v])
+		}
+	}
+	return buf
+}
+
+func appendMessage(buf []byte, m core.Message) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Bits))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Data)))
+	return append(buf, m.Data...)
+}
+
+// memoClass is one node of the configuration DAG: a canonical configuration
+// plus the exact number of schedules reaching it.
+type memoClass struct {
+	st    *state
+	board *core.Board
+	mult  *big.Int
+}
+
+// RunAllMemo explores every adversarial schedule of p on g like RunAll, but
+// collapses write orders that reach identical configurations: the schedule
+// tree becomes a DAG over canonical (board, node-state, pending-message)
+// classes, each visited once, with exact big.Int path counts propagated
+// along the edges. visit is called once per terminal class with the class's
+// Result and its schedule multiplicity; summing multiplicities reproduces
+// the naive walk's tallies exactly. The maxSteps budget counts unique
+// simulated writes (DAG edges); exceeding it returns ErrBudget with
+// stats.Steps == maxSteps. Classes at each depth are processed in a
+// deterministic (sorted-key) order, so errors and budget cut-offs are
+// reproducible.
+//
+// The collapse is sound because protocols are deterministic in (view,
+// board) and the engine's future behaviour is a function of the
+// configuration alone: which nodes are awake/active/done, what the active
+// ones froze, and the full ordered board. No approximation is involved —
+// only protocols whose message contents coincide across writers ever
+// collapse, and for the rest the DAG degenerates to the naive tree.
+func RunAllMemo(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
+	visit func(res *core.Result, mult *big.Int) error) (MemoStats, error) {
+
+	views := Views(g)
+	n := g.N()
+	model := p.Model()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 16
+	}
+	budget := p.MaxMessageBits(n)
+	stats := MemoStats{Schedules: new(big.Int), NaiveSteps: new(big.Int)}
+
+	// activate runs the deterministic activation phase in place, exactly as
+	// the naive walk does at the top of each explore call.
+	activate := func(st *state, board *core.Board) error {
+		for v := 1; v <= n; v++ {
+			if st.state[v] != awake {
+				continue
+			}
+			if p.Activate(views[v], board) {
+				st.state[v] = active
+				if model.Asynchronous() {
+					m := p.Compose(views[v], board)
+					if !opts.DisableBudget && m.Bits > budget {
+						return fmt.Errorf("engine: node %d message %d bits exceeds budget %d", v, m.Bits, budget)
+					}
+					st.pending[v] = m
+				}
+			} else if model.Simultaneous() && board.Empty() {
+				return fmt.Errorf("engine: %s protocol %q did not activate node %d on the empty board",
+					model, p.Name(), v)
+			}
+		}
+		return nil
+	}
+
+	root := &memoClass{st: newState(n), board: core.NewBoard(), mult: big.NewInt(1)}
+	if err := activate(root.st, root.board); err != nil {
+		return stats, err
+	}
+	frontier := map[string]*memoClass{
+		string(appendConfigKey(nil, root.board, root.st, model.Asynchronous())): root,
+	}
+
+	var keyBuf []byte
+	keys := make([]string, 0, 1)
+	// Every transition writes exactly one message, so the DAG is leveled by
+	// board length and a frontier sweep visits each class exactly once.
+	for depth := 0; len(frontier) > 0; depth++ {
+		round := depth + 1
+		if round > maxRounds {
+			return stats, fmt.Errorf("engine: RunAllMemo exceeded %d rounds at %d written messages", maxRounds, depth)
+		}
+		keys = keys[:0]
+		for k := range frontier {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		next := make(map[string]*memoClass)
+		for _, k := range keys {
+			c := frontier[k]
+			stats.Classes++
+			candidates := c.st.candidates()
+			if len(candidates) == 0 {
+				res := &core.Result{Board: c.board, Rounds: round}
+				if c.st.written == n {
+					out, err := p.Output(n, c.board)
+					if err != nil {
+						res.Status = core.Failed
+						res.Err = fmt.Errorf("engine: output: %w", err)
+					} else {
+						res.Status = core.Success
+						res.Output = out
+					}
+				} else {
+					res.Status = core.Deadlock
+				}
+				stats.Schedules.Add(stats.Schedules, c.mult)
+				if err := visit(res, c.mult); err != nil {
+					return stats, err
+				}
+				continue
+			}
+			for _, chosen := range candidates {
+				if stats.Steps == maxSteps {
+					return stats, ErrBudget
+				}
+				stats.Steps++
+				stats.NaiveSteps.Add(stats.NaiveSteps, c.mult)
+				var m core.Message
+				if model.Asynchronous() {
+					m = c.st.pending[chosen]
+				} else {
+					m = p.Compose(views[chosen], c.board)
+					if !opts.DisableBudget && m.Bits > budget {
+						return stats, fmt.Errorf("engine: node %d message %d bits exceeds budget %d", chosen, m.Bits, budget)
+					}
+				}
+				st2 := &state{
+					state:   append([]nodeState(nil), c.st.state...),
+					pending: append([]core.Message(nil), c.st.pending...),
+					written: c.st.written,
+				}
+				board2 := c.board.Clone()
+				board2.Append(m)
+				st2.markWritten(chosen)
+				if err := activate(st2, board2); err != nil {
+					return stats, err
+				}
+				keyBuf = appendConfigKey(keyBuf[:0], board2, st2, model.Asynchronous())
+				if dup, ok := next[string(keyBuf)]; ok {
+					dup.mult.Add(dup.mult, c.mult)
+				} else {
+					next[string(keyBuf)] = &memoClass{st: st2, board: board2, mult: new(big.Int).Set(c.mult)}
+				}
+			}
+		}
+		frontier = next
+	}
+	return stats, nil
+}
+
+// IntFromBig converts an exact multiplicity to the int tallies used by
+// Spectrum and campaign cells, or fails with ErrMultiplicityOverflow.
+func IntFromBig(v *big.Int) (int, error) {
+	if !v.IsInt64() {
+		return 0, fmt.Errorf("%w: %s", ErrMultiplicityOverflow, v.String())
+	}
+	x := v.Int64()
+	if int64(int(x)) != x {
+		return 0, fmt.Errorf("%w: %s", ErrMultiplicityOverflow, v.String())
+	}
+	return int(x), nil
+}

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocols/mis"
+)
+
+// TestMemoMatchesNaiveLocalProtocols cross-checks the memoized walk
+// against the naive enumeration on the package's own protocol zoo,
+// including a deadlocking and a failing one.
+func TestMemoMatchesNaiveLocalProtocols(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     core.Protocol
+		g     *graph.Graph
+		model *core.Model
+	}{
+		{"id-echo/path4", idEcho{}, graph.Path(4), nil},
+		{"id-echo/cycle5", idEcho{}, graph.Cycle(5), nil},
+		{"chain/path4", chainProto{}, graph.Path(4), nil},
+		{"chain-stall/path4", chainProto{stallAt: 3}, graph.Path(4), nil},
+		{"sees-board/path5", lastWriterSees{}, graph.Path(5), nil},
+		{"sees-board/cycle5-simasync", lastWriterSees{}, graph.Cycle(5), ModelPtr(core.SimAsync)},
+		{"mis-like/path5", misLike{}, graph.Path(5), nil},
+	}
+	for _, c := range cases {
+		naive, errN := OutputSpectrum(c.p, c.g, Options{Model: c.model, Exhaustive: ExhaustiveNaive}, 1<<20)
+		memo, errM := OutputSpectrum(c.p, c.g, Options{Model: c.model}, 1<<20)
+		if (errN != nil) != (errM != nil) {
+			t.Fatalf("%s: naive err %v, memo err %v", c.name, errN, errM)
+		}
+		if errN != nil {
+			continue
+		}
+		if naive.Schedules != memo.Schedules || naive.Deadlocks != memo.Deadlocks || naive.Failures != memo.Failures {
+			t.Errorf("%s: schedules/deadlocks/failures %d/%d/%d vs %d/%d/%d", c.name,
+				naive.Schedules, naive.Deadlocks, naive.Failures, memo.Schedules, memo.Deadlocks, memo.Failures)
+		}
+		if !reflect.DeepEqual(naive.Outputs, memo.Outputs) {
+			t.Errorf("%s: outputs %v vs %v", c.name, naive.Outputs, memo.Outputs)
+		}
+		if naive.Steps != memo.Steps+memo.StepsSaved {
+			t.Errorf("%s: naive steps %d != memo %d + saved %d", c.name, naive.Steps, memo.Steps, memo.StepsSaved)
+		}
+	}
+}
+
+// TestMemoCollapseExactCounts pins the DAG shape on the maximally
+// collapsing 1-bit protocol: on a path with n=4 all messages except the
+// first are identical, so classes at depth k are the C(4,k) done-sets and
+// the memoized walk simulates Σ C(4,k)·(4−k) = 32 writes where the naive
+// tree walk simulates Σ P(4,k)·(4−k) = 64 — while the schedule count stays
+// exactly 4! = 24.
+func TestMemoCollapseExactCounts(t *testing.T) {
+	var terminals int
+	stats, err := RunAllMemo(lastWriterSees{}, graph.Path(4), Options{}, 1<<20,
+		func(res *core.Result, mult *big.Int) error {
+			terminals++
+			if res.Status != core.Success {
+				t.Errorf("terminal status %v", res.Status)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 32 || stats.NaiveSteps.Int64() != 64 {
+		t.Errorf("steps = %d, naive steps = %s; want 32, 64", stats.Steps, stats.NaiveSteps)
+	}
+	if stats.Schedules.Int64() != 24 {
+		t.Errorf("schedules = %s, want 24", stats.Schedules)
+	}
+	// One class per (done-set size, first-writer-or-not) — the board after
+	// k ≥ 1 writes is the same for every order, so classes are the done-sets:
+	// Σ_k C(4,k) = 16 classes.
+	if stats.Classes != 16 {
+		t.Errorf("classes = %d, want 16", stats.Classes)
+	}
+	if terminals != 1 {
+		t.Errorf("terminal classes = %d, want 1 (all orders end on the same board)", terminals)
+	}
+}
+
+// TestMemoizedStrictlyFewerSteps is the smoke assertion behind the CI
+// equivalence job: on a collapsing protocol the memoized walk must
+// simulate strictly fewer writes than the naive walk while reproducing its
+// tallies exactly.
+func TestMemoizedStrictlyFewerSteps(t *testing.T) {
+	g := graph.Cycle(6)
+	p := mis.Protocol{Root: 1}
+	naive, err := OutputSpectrum(p, g, Options{Exhaustive: ExhaustiveNaive}, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := OutputSpectrum(p, g, Options{}, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Steps >= naive.Steps {
+		t.Fatalf("memoized %d steps, naive %d — no collapse", memo.Steps, naive.Steps)
+	}
+	if memo.Schedules != naive.Schedules || !reflect.DeepEqual(memo.Outputs, naive.Outputs) {
+		t.Fatalf("tallies diverged: %+v vs %+v", memo, naive)
+	}
+	if memo.StepsSaved != naive.Steps-memo.Steps {
+		t.Errorf("steps saved %d, want %d", memo.StepsSaved, naive.Steps-memo.Steps)
+	}
+	if memo.Classes == 0 {
+		t.Error("memoized walk reported no classes")
+	}
+}
+
+// TestRunAllBudgetExactPartialStats pins the budget contract after the
+// off-by-one fix: on ErrBudget exactly maxSteps writes were simulated and
+// stats reports exactly that, with the schedules completed so far. (The
+// old code incremented before checking, reporting maxSteps+1.)
+func TestRunAllBudgetExactPartialStats(t *testing.T) {
+	stats, err := RunAll(idEcho{}, graph.Path(6), Options{}, 10,
+		func(*core.Result, []int) error { return nil })
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Steps != 10 {
+		t.Errorf("stats.Steps = %d, want exactly the budget 10", stats.Steps)
+	}
+	// DFS order on a 6-node SIMASYNC path completes schedules [1..6] and
+	// [1,2,3,4,6,5] within the first 8 writes; the budget dies mid-branch
+	// [1,2,3,5,4,·] at the 11th attempted write.
+	if stats.Schedules != 2 {
+		t.Errorf("stats.Schedules = %d, want 2", stats.Schedules)
+	}
+}
+
+// TestRunAllMemoBudget mirrors the budget contract for the memoized walk.
+func TestRunAllMemoBudget(t *testing.T) {
+	stats, err := RunAllMemo(idEcho{}, graph.Path(6), Options{}, 10,
+		func(*core.Result, *big.Int) error { return nil })
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Steps != 10 {
+		t.Errorf("stats.Steps = %d, want exactly the budget 10", stats.Steps)
+	}
+}
+
+// TestRunAllMemoPropagatesVisitError mirrors RunAll's check-error contract.
+func TestRunAllMemoPropagatesVisitError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := RunAllMemo(idEcho{}, graph.Path(3), Options{}, 1000,
+		func(*core.Result, *big.Int) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+// TestConfigKeyDistinguishesBoardKeyAmbiguity documents why the memoizer
+// must not key on Board.Key(): a message whose data embeds the rendered
+// separator can mimic a two-message board. The length-prefixed config key
+// keeps them distinct.
+func TestConfigKeyDistinguishesBoardKeyAmbiguity(t *testing.T) {
+	one := core.NewBoard()
+	one.Append(core.Message{Data: []byte("a|1:b"), Bits: 1})
+	two := core.NewBoard()
+	two.Append(core.Message{Data: []byte("a"), Bits: 1})
+	two.Append(core.Message{Data: []byte("b"), Bits: 1})
+	if one.Key() != two.Key() {
+		t.Skip("Board.Key became injective; this guard is obsolete")
+	}
+	st := newState(2)
+	k1 := appendConfigKey(nil, one, st, true)
+	k2 := appendConfigKey(nil, two, st, true)
+	if bytes.Equal(k1, k2) {
+		t.Fatal("config key conflated a one-message and a two-message board")
+	}
+}
+
+// TestConfigKeyCollidesForEqualConfigs is the collapse direction: the same
+// configuration assembled along two different write orders (possible when
+// message contents coincide) must produce the same key.
+func TestConfigKeyCollidesForEqualConfigs(t *testing.T) {
+	m := core.Message{Data: []byte{0xAB}, Bits: 8}
+	mk := func(order []int) ([]byte, *core.Board) {
+		b := core.NewBoard()
+		st := newState(3)
+		for _, v := range order {
+			b.Append(m) // both writers happen to compose identical bytes
+			st.state[v] = done
+			st.written++
+		}
+		st.state[3] = active
+		st.pending[3] = core.Message{Data: []byte{0x01}, Bits: 2}
+		return appendConfigKey(nil, b, st, true), b
+	}
+	k1, _ := mk([]int{1, 2})
+	k2, _ := mk([]int{2, 1})
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("equal configurations reached via different orders did not collide")
+	}
+}
+
+// fuzzConfig is a configuration decoded from fuzz bytes.
+type fuzzConfig struct {
+	board *core.Board
+	st    *state
+}
+
+// fuzzReader hands out bytes from the fuzz input, zero-padding when it
+// runs dry so every input decodes to some configuration.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func parseFuzzConfig(r *fuzzReader, n int) fuzzConfig {
+	board := core.NewBoard()
+	msgs := int(r.byte()) % 7
+	readMsg := func() core.Message {
+		bits := int(r.byte()) % 40
+		dlen := int(r.byte()) % 5
+		data := make([]byte, dlen)
+		for i := range data {
+			data[i] = r.byte()
+		}
+		return core.Message{Data: data, Bits: bits}
+	}
+	for i := 0; i < msgs; i++ {
+		board.Append(readMsg())
+	}
+	st := newState(n)
+	for v := 1; v <= n; v++ {
+		st.state[v] = nodeState(r.byte() % 3)
+		if st.state[v] == done {
+			st.written++
+		}
+		st.pending[v] = readMsg()
+	}
+	return fuzzConfig{board: board, st: st}
+}
+
+// equalFuzzConfigs reports semantic configuration equality: same ordered
+// board (bit counts and raw data bytes), same node states, and — when
+// pending messages matter (asynchronous models) — equal pending messages
+// on every active node.
+func equalFuzzConfigs(a, b fuzzConfig, pending bool) bool {
+	if a.board.Len() != b.board.Len() || len(a.st.state) != len(b.st.state) {
+		return false
+	}
+	eqMsg := func(x, y core.Message) bool {
+		return x.Bits == y.Bits && bytes.Equal(x.Data, y.Data)
+	}
+	for i := 0; i < a.board.Len(); i++ {
+		if !eqMsg(a.board.At(i), b.board.At(i)) {
+			return false
+		}
+	}
+	for v := 1; v < len(a.st.state); v++ {
+		if a.st.state[v] != b.st.state[v] {
+			return false
+		}
+		if pending && a.st.state[v] == active && !eqMsg(a.st.pending[v], b.st.pending[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzConfigKey checks the canonical key's two defining properties on
+// arbitrary configuration pairs: distinct configurations (including boards
+// that are mere permutations of one another) never collide, and equal
+// configurations — however they were assembled — always do.
+func FuzzConfigKey(f *testing.F) {
+	// Equal pair (all-zero decode), a permuted-board pair, a flipped-state
+	// pair, and a pending-only difference.
+	f.Add(true, []byte{})
+	f.Add(true, []byte{2, 8, 1, 0xAA, 8, 1, 0xBB, 1, 0, 0, 1, 0, 0, 2, 8, 1, 0xBB, 8, 1, 0xAA, 1, 0, 0, 1, 0, 0})
+	f.Add(false, []byte{0, 1, 0, 0, 2, 0, 0, 0, 0, 0, 0})
+	f.Add(true, []byte{0, 1, 4, 1, 0x10, 1, 0, 0, 0, 1, 4, 1, 0x20, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, pending bool, data []byte) {
+		r := &fuzzReader{data: data}
+		n := int(r.byte())%5 + 1
+		a := parseFuzzConfig(r, n)
+		b := parseFuzzConfig(r, n)
+		keyA := appendConfigKey(nil, a.board, a.st, pending)
+		keyB := appendConfigKey(nil, b.board, b.st, pending)
+		equal := equalFuzzConfigs(a, b, pending)
+		collide := bytes.Equal(keyA, keyB)
+		if equal && !collide {
+			t.Fatalf("equal configurations produced different keys:\n%x\n%x", keyA, keyB)
+		}
+		if !equal && collide {
+			t.Fatalf("distinct configurations collided on key %x", keyA)
+		}
+	})
+}

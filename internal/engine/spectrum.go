@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 
 	"repro/internal/core"
@@ -19,6 +20,16 @@ type Spectrum struct {
 	Deadlocks int
 	// Failures counts schedules that violated a model constraint.
 	Failures int
+	// Steps counts the simulated writes the exploration performed. Under
+	// the memoized strategy identical configurations are simulated once, so
+	// Steps can be far below the schedule tree's edge count.
+	Steps int
+	// Classes counts the distinct configuration classes the memoized walk
+	// visited; 0 under the naive strategy.
+	Classes int
+	// StepsSaved is the number of writes the naive tree walk would have
+	// simulated beyond Steps; 0 under the naive strategy.
+	StepsSaved int
 }
 
 // DistinctOutputs returns the rendered outputs sorted lexicographically.
@@ -31,23 +42,64 @@ func (s *Spectrum) DistinctOutputs() []string {
 	return out
 }
 
-// OutputSpectrum runs every adversarial schedule of p on g (within
-// maxSteps simulated writes) and tallies the outcomes. It answers, for
-// small inputs, the question behind the model's ∀-adversary quantifier:
-// which answers can the adversary force, and can it force a deadlock?
+// tally folds one terminal outcome, reached by mult schedules, into the
+// spectrum.
+func (s *Spectrum) tally(res *core.Result, mult int) {
+	switch res.Status {
+	case core.Success:
+		s.Outputs[fmt.Sprintf("%v", res.Output)] += mult
+	case core.Deadlock:
+		s.Deadlocks += mult
+	default:
+		s.Failures += mult
+	}
+}
+
+// OutputSpectrum explores every adversarial schedule of p on g (within a
+// budget of maxSteps simulated writes) and tallies the outcomes. It
+// answers, for small inputs, the question behind the model's ∀-adversary
+// quantifier: which answers can the adversary force, and can it force a
+// deadlock?
+//
+// By default the exploration is memoized (RunAllMemo): write orders that
+// reach identical configurations are simulated once and their exact
+// schedule multiplicities propagated, so the tallies are bit-for-bit what
+// the naive enumeration produces while the step budget stretches orders of
+// magnitude further on collapsing protocols. opts.Exhaustive =
+// ExhaustiveNaive selects the reference tree walk instead.
 func OutputSpectrum(p core.Protocol, g *graph.Graph, opts Options, maxSteps int) (*Spectrum, error) {
 	s := &Spectrum{Outputs: map[string]int{}}
-	stats, err := RunAll(p, g, opts, maxSteps, func(res *core.Result, _ []int) error {
-		switch res.Status {
-		case core.Success:
-			s.Outputs[fmt.Sprintf("%v", res.Output)]++
-		case core.Deadlock:
-			s.Deadlocks++
-		default:
-			s.Failures++
+	if opts.Exhaustive == ExhaustiveNaive {
+		stats, err := RunAll(p, g, opts, maxSteps, func(res *core.Result, _ []int) error {
+			s.tally(res, 1)
+			return nil
+		})
+		s.Schedules = stats.Schedules
+		s.Steps = stats.Steps
+		return s, err
+	}
+	stats, err := RunAllMemo(p, g, opts, maxSteps, func(res *core.Result, mult *big.Int) error {
+		w, convErr := IntFromBig(mult)
+		if convErr != nil {
+			return convErr
 		}
+		s.tally(res, w)
 		return nil
 	})
-	s.Schedules = stats.Schedules
+	s.Steps = stats.Steps
+	s.Classes = stats.Classes
+	if sched, convErr := IntFromBig(stats.Schedules); convErr == nil {
+		s.Schedules = sched
+	} else if err == nil {
+		err = convErr
+	}
+	saved := new(big.Int).Sub(stats.NaiveSteps, big.NewInt(int64(stats.Steps)))
+	if v, convErr := IntFromBig(saved); convErr == nil {
+		s.StepsSaved = v
+	} else {
+		// StepsSaved is a diagnostic, not a tally; saturate rather than fail
+		// a run whose exact counts all fit.
+		s.StepsSaved = int(^uint(0) >> 1)
+	}
 	return s, err
 }

@@ -137,6 +137,8 @@ func diffCell(o, n *campaign.Cell) []FieldDelta {
 		ints("sched_deadlock", oe.Deadlock, ne.Deadlock)
 		ints("sched_failed", oe.Failed, ne.Failed)
 		ints("distinct_outputs", oe.DistinctOutputs, ne.DistinctOutputs)
+		ints("classes", oe.Classes, ne.Classes)
+		ints("steps_saved", oe.StepsSaved, ne.StepsSaved)
 		if oe.BudgetExhausted != ne.BudgetExhausted {
 			out = append(out, FieldDelta{"budget_exhausted",
 				strconv.FormatBool(oe.BudgetExhausted), strconv.FormatBool(ne.BudgetExhausted)})

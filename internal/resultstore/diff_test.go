@@ -102,7 +102,8 @@ func TestDiffSeesExhaustiveStats(t *testing.T) {
 	cur := baseReport()
 	cur.Cells = cur.Cells[:1]
 	cur.Cells[0].Adversary = "exhaustive"
-	cur.Cells[0].Exhaustive = &campaign.ExhaustiveCell{Schedules: 18, Steps: 50, Success: 18, DistinctOutputs: 2, BudgetExhausted: true}
+	cur.Cells[0].Exhaustive = &campaign.ExhaustiveCell{Schedules: 18, Steps: 50, Success: 18, DistinctOutputs: 2,
+		BudgetExhausted: true, Classes: 30, StepsSaved: 14}
 	d := DiffReports(old, cur)
 	if d.Empty() {
 		t.Fatal("exhaustive stat changes produced no deltas")
@@ -111,7 +112,8 @@ func TestDiffSeesExhaustiveStats(t *testing.T) {
 	for _, f := range d.Deltas[0].Fields {
 		fields[f.Field] = true
 	}
-	for _, want := range []string{"schedules", "steps", "sched_success", "distinct_outputs", "budget_exhausted"} {
+	for _, want := range []string{"schedules", "steps", "sched_success", "distinct_outputs", "budget_exhausted",
+		"classes", "steps_saved"} {
 		if !fields[want] {
 			t.Errorf("missing %q delta; got %v", want, d.Deltas[0].Fields)
 		}

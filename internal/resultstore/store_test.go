@@ -172,6 +172,65 @@ func TestLoadRefForms(t *testing.T) {
 	}
 }
 
+// TestStoredExhaustiveMemoizedRoundTrip extends the store/diff round trip
+// to memoized exhaustive reports: the dedup stats (classes, steps_saved)
+// survive JSON persistence, re-running the spec diffs clean, and flipping
+// the strategy to the naive walk surfaces as classes/steps deltas on the
+// collapsing cell while leaving the schedule tallies untouched.
+func TestStoredExhaustiveMemoizedRoundTrip(t *testing.T) {
+	spec := campaign.Spec{
+		Name:      "store-exhaustive-test",
+		Protocols: []string{"mis"},
+		Graphs:    []string{"cycle"},
+		Sizes:     []int{5},
+		Mode:      campaign.ModeExhaustive,
+	}
+	run := func(s campaign.Spec) *campaign.Report {
+		rep, err := campaign.Run(s, campaign.Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(run(spec), "memo-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(run(spec), "memo-2"); err != nil {
+		t.Fatal(err)
+	}
+	oldRep, _, err := st.Load("memo-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := oldRep.Cells[0].Exhaustive; e == nil || e.Classes == 0 || e.StepsSaved == 0 {
+		t.Fatalf("dedup stats lost in round trip: %+v", oldRep.Cells[0].Exhaustive)
+	}
+	newRep, _, err := st.Load("memo-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffReports(oldRep, newRep); !d.Empty() {
+		t.Errorf("re-running the memoized spec produced deltas: %+v", d.Deltas)
+	}
+	naive := false
+	spec.Memoize = &naive
+	d := DiffReports(oldRep, run(spec))
+	if d.Empty() {
+		t.Fatal("memoized vs naive runs should differ in traversal diagnostics")
+	}
+	for _, f := range d.Deltas[0].Fields {
+		switch f.Field {
+		case "steps", "classes", "steps_saved":
+		default:
+			t.Errorf("unexpected delta %q (%s -> %s): strategies must agree on tallies", f.Field, f.Old, f.New)
+		}
+	}
+}
+
 // TestStoredRunsDiffClean is the end-to-end contract behind the CI gate:
 // store two runs of the same spec, diff them, expect zero deltas.
 func TestStoredRunsDiffClean(t *testing.T) {

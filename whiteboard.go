@@ -39,6 +39,8 @@
 package whiteboard
 
 import (
+	"math/big"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -148,6 +150,17 @@ func RunAll(p Protocol, g *Graph, opts Options, maxSteps int,
 	check func(res *Result, order []int) error) (int, error) {
 	stats, err := engine.RunAll(p, g, opts, maxSteps, check)
 	return stats.Schedules, err
+}
+
+// RunAllMemo enumerates every adversarial schedule like RunAll but
+// collapses write orders that reach identical (board, node-state,
+// pending-message) configurations, visiting each configuration class once
+// with its exact schedule multiplicity. Tallies summed over multiplicities
+// are bit-for-bit what RunAll produces, at a fraction of the simulated
+// writes on protocols whose message contents coincide across writers.
+func RunAllMemo(p Protocol, g *Graph, opts Options, maxSteps int,
+	visit func(res *Result, mult *big.Int) error) (engine.MemoStats, error) {
+	return engine.RunAllMemo(p, g, opts, maxSteps, visit)
 }
 
 // BuildForest returns the SIMASYNC[log n] BUILD protocol for forests.
