@@ -10,6 +10,7 @@
 // Subcommands wire the persistent result store:
 //
 //	wbcampaign run  -spec examples/campaigns/smoke.json -store
+//	wbcampaign run  -spec ... -push http://host:8080     # publish to wbserve
 //	wbcampaign list
 //	wbcampaign diff                  # latest two runs of the newest spec
 //	wbcampaign diff run-001 run-002  # explicit refs, -json for machines
@@ -19,16 +20,24 @@
 //	wbcampaign -spec examples/campaigns/smoke.json
 //	wbcampaign -protocols bfs,mis -graphs gnp,tree -sizes 8,16 -seeds 5
 //
-// diff exits 0 when the reports agree, 1 when any cell differs, 2 on
-// errors — fit for CI regression gates.
+// diff exits 0 when the reports agree (including the nothing-to-compare
+// case of a store holding fewer than two runs of a spec), 1 when any cell
+// differs, 2 on errors — fit for CI regression gates.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/registry"
@@ -73,7 +82,7 @@ func usage(w *os.File) {
 
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
            [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
-           [-label L] [-workers N] [-out FILE] [-csv FILE] [-quiet]
+           [-push URL] [-label L] [-workers N] [-out FILE] [-csv FILE] [-quiet]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
 `)
@@ -100,6 +109,7 @@ func runCmd(args []string) {
 		csvPath    = fs.String("csv", "", "also write a CSV report here")
 		store      = fs.Bool("store", false, "persist the report in the result store for later list/diff")
 		dir        = fs.String("dir", defaultStoreDir, "result store directory (with -store)")
+		push       = fs.String("push", "", "publish the report to a wbserve base URL (e.g. http://host:8080)")
 		label      = fs.String("label", "", "store label, e.g. from git describe; empty = auto run-NNN")
 		quiet      = fs.Bool("quiet", false, "suppress the live progress line and summary")
 	)
@@ -111,10 +121,11 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if !*store {
-		// -label/-dir only matter with -store; accepting them silently would
-		// let a forgotten -store look like a persisted run.
+		// -dir only matters with -store, and -label needs a destination
+		// (-store or -push); accepting them silently would let a forgotten
+		// -store look like a persisted run.
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "label" || f.Name == "dir" {
+			if f.Name == "dir" || (f.Name == "label" && *push == "") {
 				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s requires -store\n", f.Name)
 				os.Exit(2)
 			}
@@ -206,9 +217,19 @@ func runCmd(args []string) {
 			fmt.Fprintf(os.Stderr, "stored %s (seq %d) in %s\n", entry.Ref(), entry.Seq, *dir)
 		}
 	}
-	// With -store and no -out the store is the destination; skip the stdout
-	// dump so `run -store` twice then `diff` composes quietly in scripts.
-	if *out == "" && *store {
+	if *push != "" {
+		entry, err := pushReport(*push, rep, *label)
+		if err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "pushed %s to %s\n", entry.Ref(), *push)
+		}
+	}
+	// With a store destination and no -out the store is the destination;
+	// skip the stdout dump so `run -store` twice then `diff` (or a `-push`
+	// into a served store) composes quietly in scripts.
+	if *out == "" && (*store || *push != "") {
 		if *csvPath != "" {
 			writeCSV(rep, *csvPath)
 		}
@@ -274,51 +295,101 @@ func diffCmd(args []string) {
 	dir := fs.String("dir", defaultStoreDir, "result store directory")
 	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of text")
 	fs.Parse(args)
-
+	if fs.NArg() != 0 && fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "wbcampaign diff: want zero refs (latest two of newest spec) or exactly two")
+		os.Exit(2)
+	}
 	st, err := resultstore.Open(*dir)
 	if err != nil {
 		faild(err)
 	}
-	var (
-		oldEntry, newEntry resultstore.Entry
-		oldRep, newRep     *campaign.Report
-	)
-	switch fs.NArg() {
-	case 0:
-		oldEntry, newEntry, err = st.LatestPair()
-		if err != nil {
-			faild(err)
-		}
-		if oldRep, err = st.LoadEntry(oldEntry); err != nil {
-			faild(err)
-		}
-		if newRep, err = st.LoadEntry(newEntry); err != nil {
-			faild(err)
-		}
-	case 2:
-		if oldRep, oldEntry, err = st.Load(fs.Arg(0)); err != nil {
-			faild(err)
-		}
-		if newRep, newEntry, err = st.Load(fs.Arg(1)); err != nil {
-			faild(err)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "wbcampaign diff: want zero refs (latest two of newest spec) or exactly two")
-		os.Exit(2)
-	}
-	d := resultstore.DiffReports(oldRep, newRep)
-	d.OldRef, d.NewRef = oldEntry.Ref(), newEntry.Ref()
-	if *asJSON {
-		err = d.WriteJSON(os.Stdout)
-	} else {
-		err = d.WriteText(os.Stdout)
-	}
+	code, err := runDiff(st, fs.Args(), *asJSON, os.Stdout)
 	if err != nil {
 		faild(err)
 	}
-	if !d.Empty() {
-		os.Exit(1)
+	os.Exit(code)
+}
+
+// runDiff compares two stored runs and writes the rendering to w,
+// returning the process exit code: 0 when the reports agree — or when the
+// store simply does not yet hold two runs of a spec, which is a state to
+// report, not an error to fail a pipeline on — and 1 on any cell delta.
+// Operational failures (unreadable store, bad refs) return an error; the
+// caller maps those to exit 2.
+func runDiff(st *resultstore.Store, refs []string, asJSON bool, w io.Writer) (int, error) {
+	var (
+		oldEntry, newEntry resultstore.Entry
+		oldRep, newRep     *campaign.Report
+		err                error
+	)
+	if len(refs) == 0 {
+		oldEntry, newEntry, err = st.LatestPair()
+		if errors.Is(err, resultstore.ErrNeedTwoRuns) {
+			fmt.Fprintf(w, "nothing to diff yet: %v\n(store two runs with `wbcampaign run -store`, then diff)\n", err)
+			return 0, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if oldRep, err = st.LoadEntry(oldEntry); err != nil {
+			return 0, err
+		}
+		if newRep, err = st.LoadEntry(newEntry); err != nil {
+			return 0, err
+		}
+	} else {
+		if oldRep, oldEntry, err = st.Load(refs[0]); err != nil {
+			return 0, err
+		}
+		if newRep, newEntry, err = st.Load(refs[1]); err != nil {
+			return 0, err
+		}
 	}
+	d := resultstore.DiffReports(oldRep, newRep)
+	d.OldRef, d.NewRef = oldEntry.Ref(), newEntry.Ref()
+	format := "text"
+	if asJSON {
+		format = "json"
+	}
+	if err := d.Render(w, format); err != nil {
+		return 0, err
+	}
+	if !d.Empty() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// pushReport publishes a finished report to a wbserve ingest endpoint,
+// returning the entry the server stored it under.
+func pushReport(baseURL string, rep *campaign.Report, label string) (resultstore.Entry, error) {
+	var body bytes.Buffer
+	if err := rep.WriteJSON(&body); err != nil {
+		return resultstore.Entry{}, err
+	}
+	target := strings.TrimSuffix(baseURL, "/") + "/api/v1/reports"
+	if label != "" {
+		target += "?label=" + url.QueryEscape(label)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(target, "application/json", &body)
+	if err != nil {
+		return resultstore.Entry{}, fmt.Errorf("push: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resultstore.Entry{}, fmt.Errorf("push: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return resultstore.Entry{}, fmt.Errorf("push: %s answered %s: %s",
+			target, resp.Status, strings.TrimSpace(string(data)))
+	}
+	var entry resultstore.Entry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return resultstore.Entry{}, fmt.Errorf("push: parsing response: %w", err)
+	}
+	return entry, nil
 }
 
 func fail(err error) {

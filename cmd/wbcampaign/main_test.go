@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/resultstore"
+	"repro/internal/server"
+)
+
+func smokeReport(t *testing.T, sizes ...int) *campaign.Report {
+	t.Helper()
+	if len(sizes) == 0 {
+		sizes = []int{4, 5}
+	}
+	rep, err := campaign.Run(campaign.Spec{
+		Name:        "cli-test",
+		Protocols:   []string{"build-forest"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min"},
+		Sizes:       sizes,
+	}, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDiffNeedTwoRuns pins the CI-facing contract: a store holding
+// fewer than two runs of a spec is a "nothing to compare yet" state —
+// exit 0 with a clear message — not an opaque error.
+func TestRunDiffNeedTwoRuns(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store.
+	var out bytes.Buffer
+	code, err := runDiff(st, nil, false, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("empty store: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "nothing to diff yet") || !strings.Contains(out.String(), "run -store") {
+		t.Errorf("empty-store message not actionable:\n%s", out.String())
+	}
+	// One stored run.
+	if _, err := st.Save(smokeReport(t), "solo"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = runDiff(st, nil, false, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("single run: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "nothing to diff yet") {
+		t.Errorf("single-run message:\n%s", out.String())
+	}
+	// Explicit refs that do not resolve remain operational errors.
+	if _, err := runDiff(st, []string{"solo", "missing"}, false, &out); err == nil {
+		t.Error("unknown explicit ref did not error")
+	}
+}
+
+// TestRunDiffAgreeAndDiffer pins the exit codes once two runs exist.
+func TestRunDiffAgreeAndDiffer(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(smokeReport(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(smokeReport(t), "b"); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := runDiff(st, nil, false, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("identical runs: code %d, err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "no differences") {
+		t.Errorf("agreeing diff output:\n%s", out.String())
+	}
+	// A run of a different spec diffs with only-in deltas → exit 1.
+	if _, err := st.Save(smokeReport(t, 4), "c"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = runDiff(st, []string{"a", "c"}, true, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("differing runs: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), `"only_in"`) {
+		t.Errorf("JSON diff output:\n%s", out.String())
+	}
+}
+
+// TestPushReport publishes a report to an in-process wbserve and checks
+// it landed, plus the error surface on rejection.
+func TestPushReport(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Stores: []*resultstore.Store{st}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep := smokeReport(t)
+	entry, err := pushReport(ts.URL, rep, "pushed-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Label != "pushed-v1" || entry.SpecHash != resultstore.SpecHash(rep.Spec) {
+		t.Errorf("pushed entry %+v", entry)
+	}
+	if _, err := st.GetEntry(entry.SpecHash, "pushed-v1"); err != nil {
+		t.Errorf("pushed report not in served store: %v", err)
+	}
+	// Trailing slash in the base URL is tolerated; auto labels work.
+	if entry, err = pushReport(ts.URL+"/", rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(entry.Label, "run-") {
+		t.Errorf("auto label = %q", entry.Label)
+	}
+	// A duplicate label is refused by the server; the client surfaces it.
+	if _, err := pushReport(ts.URL, rep, "pushed-v1"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("duplicate push: %v", err)
+	}
+}

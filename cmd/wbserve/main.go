@@ -1,0 +1,113 @@
+// wbserve serves one or more campaign result stores over HTTP — the
+// read side of `wbcampaign run -store`. Reports and diffs are immutable
+// and content-addressed, so every response carries a strong ETag, repeat
+// requests answer 304 Not Modified, and rendered diffs come from an
+// in-memory LRU instead of being recomputed.
+//
+//	wbserve -dir .wbstore                      # serve one store on :8080
+//	wbserve -dir .wbstore,.wbstore-exh -addr :9090
+//	wbserve -dir /srv/wbstore -readonly        # disable POST ingest
+//
+// Routes: GET /api/v1/reports (list, filterable), GET
+// /api/v1/reports/{hash}/{label} (JSON or CSV), GET /api/v1/diff
+// (text or JSON, cached), POST /api/v1/reports (ingest; see `wbcampaign
+// run -push`), GET /healthz, GET /metricsz. The process shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/resultstore"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		dirs     = flag.String("dir", ".wbstore", "comma-separated result store directories; the first receives ingested reports")
+		cache    = flag.Int("cache", server.DefaultCacheSize, "rendered-diff LRU capacity (entries)")
+		readonly = flag.Bool("readonly", false, "disable the POST ingest route")
+		quiet    = flag.Bool("quiet", false, "suppress per-error logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wbserve: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	var stores []*resultstore.Store
+	for _, dir := range strings.Split(*dirs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		st, err := resultstore.Open(dir)
+		if err != nil {
+			fail(err)
+		}
+		stores = append(stores, st)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "wbserve: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Options{
+		Stores:    stores,
+		CacheSize: *cache,
+		ReadOnly:  *readonly,
+		Logf:      logf,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Listen before announcing, so -addr :0 can print the real port and a
+	// taken port fails before anything claims to be serving.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "wbserve: serving %s on http://%s\n", *dirs, ln.Addr())
+
+	select {
+	case err := <-errc:
+		// Serve only returns on failure; ErrServerClosed cannot arrive here
+		// before a shutdown is requested.
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "wbserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wbserve:", err)
+	os.Exit(1)
+}

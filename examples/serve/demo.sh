@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Walkthrough: populate a result store with two campaign runs, serve it
+# with wbserve, and consume it over HTTP — list, report (JSON + CSV),
+# cached diff with a 304 conditional replay, and a push from a second
+# campaign run. Run from the repository root:
+#
+#	sh examples/serve/demo.sh
+set -eu
+
+DIR=$(mktemp -d)
+ADDR=127.0.0.1:8392
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "== two runs of the same campaign into a store =="
+go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
+	-store -dir "$DIR/store" -label demo-a -quiet
+go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
+	-store -dir "$DIR/store" -label demo-b -quiet
+
+echo "== serve the store =="
+# The server's own stderr goes to a log file so backgrounding it never
+# holds this script's output pipe open.
+go run ./cmd/wbserve -dir "$DIR/store" -addr "$ADDR" >"$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+curl --retry 20 --retry-connrefused --retry-delay 1 -fsS "http://$ADDR/healthz"
+
+echo "== list stored runs (filterable: ?spec= ?label= ?protocol= ?graph= ?mode=) =="
+curl -fsS "http://$ADDR/api/v1/reports"
+HASH=$(curl -fsS "http://$ADDR/api/v1/reports" | sed -n 's/.*"spec_hash": "\([0-9a-f]*\)".*/\1/p' | head -1)
+
+echo "== one report, as JSON then as CSV =="
+curl -fsS "http://$ADDR/api/v1/reports/$HASH/demo-a" | head -20
+curl -fsS "http://$ADDR/api/v1/reports/$HASH/demo-a?format=csv" | head -4
+
+echo "== diff the two runs; the second request hits the LRU =="
+curl -fsS -D "$DIR/h1" "http://$ADDR/api/v1/diff?old=demo-a&new=demo-b"
+curl -fsS -D "$DIR/h2" -o /dev/null "http://$ADDR/api/v1/diff?old=demo-a&new=demo-b"
+grep -i '^x-cache' "$DIR/h1" "$DIR/h2"
+
+echo "== responses are immutable: replaying the ETag answers 304 =="
+ETAG=$(sed -n 's/^[Ee][Tt][Aa][Gg]: //p' "$DIR/h2" | tr -d '\r')
+curl -sS -o /dev/null -w "If-None-Match: %{http_code}\n" \
+	-H "If-None-Match: $ETAG" "http://$ADDR/api/v1/diff?old=demo-a&new=demo-b"
+
+echo "== a third run published straight into the served store =="
+go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
+	-push "http://$ADDR" -label demo-pushed -quiet
+curl -fsS "http://$ADDR/api/v1/reports?label=demo-pushed"
+
+echo "== request counters and cache hit rate =="
+curl -fsS "http://$ADDR/metricsz"

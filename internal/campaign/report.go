@@ -164,6 +164,20 @@ func (r *Report) WriteCSV(w io.Writer) error {
 
 func itoa(v int) string { return strconv.Itoa(v) }
 
+// Render writes the report in the named representation — "json" (or "")
+// and "csv" — through the same emitters the CLI uses, so an HTTP server
+// and a local file land byte-identical bodies for the same report.
+func (r *Report) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "json":
+		return r.WriteJSON(w)
+	case "csv":
+		return r.WriteCSV(w)
+	default:
+		return fmt.Errorf("campaign: unknown report format %q (want json or csv)", format)
+	}
+}
+
 // Summary returns a one-line human summary for CLI output.
 func (r *Report) Summary() string {
 	rate := 0.0

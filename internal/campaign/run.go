@@ -61,6 +61,39 @@ type schedStats struct {
 	bitsMin, bitsMax     int
 	bitsSum              int64
 	maxBitsOnBoard       int // largest single message across all terminal boards
+
+	// overflow records that an integer tally would have wrapped. Memoized
+	// walks reach schedule counts far beyond the step budget (that is
+	// their point), and each per-class multiplicity fitting an int does
+	// not mean their *sum* does; a cell whose exact tallies are not
+	// representable must fail loudly, never report wrapped numbers.
+	overflow bool
+}
+
+// addCount adds weight to an int tally, tripping overflow instead of
+// wrapping.
+func (ss *schedStats) addCount(counter *int, weight int) {
+	if *counter > int(^uint(0)>>1)-weight {
+		ss.overflow = true
+		return
+	}
+	*counter += weight
+}
+
+// addWeighted folds v*weight into an int64 accumulator, tripping
+// overflow instead of wrapping.
+func (ss *schedStats) addWeighted(sum *int64, v, weight int) {
+	const maxInt64 = int64(^uint64(0) >> 1)
+	if v > 0 && int64(weight) > maxInt64/int64(v) {
+		ss.overflow = true
+		return
+	}
+	add := int64(v) * int64(weight)
+	if *sum > maxInt64-add {
+		ss.overflow = true
+		return
+	}
+	*sum += add
 }
 
 // Run expands the spec and executes every job on a sharded worker pool.
@@ -208,15 +241,15 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 	ss := &schedStats{roundsMin: int(^uint(0) >> 1), bitsMin: int(^uint(0) >> 1)}
 	outputs := map[string]struct{}{}
 	tally := func(res *core.Result, weight int) {
-		ss.schedules += weight
+		ss.addCount(&ss.schedules, weight)
 		switch res.Status {
 		case core.Success:
-			ss.success += weight
+			ss.addCount(&ss.success, weight)
 			outputs[fmt.Sprintf("%v", res.Output)] = struct{}{}
 		case core.Deadlock:
-			ss.deadlock += weight
+			ss.addCount(&ss.deadlock, weight)
 		default:
-			ss.failed += weight
+			ss.addCount(&ss.failed, weight)
 		}
 		ss.addSchedule(res, weight)
 	}
@@ -257,6 +290,9 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 	// rides the shared jobResult field.
 	jr = jobResult{sched: ss, maxBits: ss.maxBitsOnBoard}
 	switch {
+	case ss.overflow:
+		jr.status = core.Failed
+		jr.err = "exhaustive tallies exceed integer range (schedule multiplicities too large to aggregate exactly)"
 	case errors.Is(runErr, engine.ErrBudget):
 		ss.budgetHit = true
 		jr.status = core.Failed
@@ -285,7 +321,7 @@ func (ss *schedStats) addSchedule(res *core.Result, weight int) {
 	if r > ss.roundsMax {
 		ss.roundsMax = r
 	}
-	ss.roundsSum += int64(r) * int64(weight)
+	ss.addWeighted(&ss.roundsSum, r, weight)
 	bits := res.Board.TotalBits()
 	if bits < ss.bitsMin {
 		ss.bitsMin = bits
@@ -293,7 +329,7 @@ func (ss *schedStats) addSchedule(res *core.Result, weight int) {
 	if bits > ss.bitsMax {
 		ss.bitsMax = bits
 	}
-	ss.bitsSum += int64(bits) * int64(weight)
+	ss.addWeighted(&ss.bitsSum, bits, weight)
 	for i := 0; i < res.Board.Len(); i++ {
 		if b := res.Board.At(i).Bits; b > ss.maxBitsOnBoard {
 			ss.maxBitsOnBoard = b

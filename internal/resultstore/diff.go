@@ -199,6 +199,20 @@ func orDash(s string) string {
 	return s
 }
 
+// Render writes the diff in the named representation — "text" (or "") and
+// "json" — mirroring campaign.Report.Render so every consumer shares the
+// CLI's emitters.
+func (d *Diff) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return d.WriteText(w)
+	case "json":
+		return d.WriteJSON(w)
+	default:
+		return fmt.Errorf("resultstore: unknown diff format %q (want text or json)", format)
+	}
+}
+
 // WriteJSON emits the diff as indented JSON with a trailing newline.
 func (d *Diff) WriteJSON(w io.Writer) error {
 	data, err := json.MarshalIndent(d, "", "  ")

@@ -20,13 +20,33 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/campaign"
+)
+
+// Sentinel errors, matchable with errors.Is so callers (the diff CLI, the
+// HTTP server) can map store conditions to exit codes and status codes
+// without string-sniffing.
+var (
+	// ErrNotFound reports that no stored run matches a keyed lookup or ref.
+	ErrNotFound = errors.New("no matching stored run")
+	// ErrNeedTwoRuns reports that the store does not yet hold two runs of
+	// the same spec, so there is nothing to diff — a state, not a failure:
+	// CI gates should treat it as success-with-nothing-to-compare.
+	ErrNeedTwoRuns = errors.New("need two stored runs to diff")
+	// ErrLabelTaken reports a save under a label that already exists for
+	// the spec (stored runs are immutable).
+	ErrLabelTaken = errors.New("label already exists (stored runs are immutable)")
+	// ErrBadLabel reports a label that cannot name a stored run — caller
+	// input to reject, not a store fault.
+	ErrBadLabel = errors.New("invalid label")
 )
 
 // Entry identifies one stored run.
@@ -50,6 +70,16 @@ type Entry struct {
 
 // Ref renders the entry's canonical reference, accepted by Load.
 func (e Entry) Ref() string { return e.SpecHash + "/" + e.Label }
+
+// ETag returns a strong HTTP entity tag for a response rendering this run
+// in the given representation variant ("json", "csv", ...). Stored runs are
+// immutable and content-addressed, so the store key pair is a valid strong
+// validator: the same tag can never name different bytes. The variant is
+// folded in because strong ETags are per-representation — the JSON and CSV
+// renderings of one run must not share a tag.
+func (e Entry) ETag(variant string) string {
+	return `"` + e.SpecHash + "/" + e.Label + ":" + variant + `"`
+}
 
 // envelope is the on-disk document: the entry plus the full report.
 type envelope struct {
@@ -93,21 +123,22 @@ func SpecHash(spec campaign.Spec) string {
 	return hex.EncodeToString(sum[:])[:12]
 }
 
-// validLabel guards the label's use as a file name.
+// validLabel guards the label's use as a file name; failures wrap
+// ErrBadLabel.
 func validLabel(label string) error {
 	if label == "" {
-		return fmt.Errorf("resultstore: empty label")
+		return fmt.Errorf("resultstore: %w: empty label", ErrBadLabel)
 	}
 	for _, r := range label {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '.', r == '_', r == '-', r == '+':
 		default:
-			return fmt.Errorf("resultstore: label %q: only [A-Za-z0-9._+-] allowed", label)
+			return fmt.Errorf("resultstore: %w: %q: only [A-Za-z0-9._+-] allowed", ErrBadLabel, label)
 		}
 	}
 	if strings.HasPrefix(label, ".") {
-		return fmt.Errorf("resultstore: label %q must not start with a dot", label)
+		return fmt.Errorf("resultstore: %w: %q must not start with a dot", ErrBadLabel, label)
 	}
 	return nil
 }
@@ -167,7 +198,7 @@ func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 			if auto && attempt < 8 {
 				continue
 			}
-			return Entry{}, fmt.Errorf("resultstore: %s/%s already exists (stored runs are immutable; pick a new label)", hash, lbl)
+			return Entry{}, fmt.Errorf("resultstore: %s/%s: %w (pick a new label)", hash, lbl, ErrLabelTaken)
 		}
 		return Entry{}, err
 	}
@@ -211,6 +242,18 @@ func (s *Store) write(dir string, env envelope) (Entry, error) {
 
 // List returns every stored entry, oldest first (by sequence, then by
 // ref for entries predating the sequence).
+//
+// List is a read snapshot of a store that may be mutated underneath it by
+// a concurrent `wbcampaign run -store` or an external sync: files that
+// vanish between the directory scan and the read, in-flight .tmp files,
+// stray non-JSON files and envelopes that do not (yet) parse as complete
+// entries are all skipped rather than failing the whole listing. Writes
+// land atomically (temp file + hard link), so anything skipped is either
+// foreign to the store or about to reappear on the next listing — one bad
+// or half-copied file can never brick every later List, Save or serve.
+// Only those mutation shapes are tolerated: a file that exists and parses
+// but cannot be read (permissions, I/O errors) still fails the listing,
+// so a genuinely broken store stays loud instead of shrinking silently.
 func (s *Store) List() ([]Entry, error) {
 	groups, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -226,6 +269,9 @@ func (s *Store) List() ([]Entry, error) {
 		}
 		files, err := os.ReadDir(filepath.Join(s.dir, g.Name()))
 		if err != nil {
+			if os.IsNotExist(err) {
+				continue // group removed mid-listing
+			}
 			return nil, fmt.Errorf("resultstore: %w", err)
 		}
 		for _, f := range files {
@@ -234,7 +280,13 @@ func (s *Store) List() ([]Entry, error) {
 			}
 			e, err := s.readEntry(filepath.Join(s.dir, g.Name(), f.Name()))
 			if err != nil {
-				return nil, err
+				if errors.Is(err, os.ErrNotExist) || isParseError(err) {
+					continue // vanished or partial file
+				}
+				return nil, err // unreadable store: surface, don't shrink
+			}
+			if e.SpecHash == "" || e.Label == "" {
+				continue // foreign JSON, not a stored run
 			}
 			out = append(out, e)
 		}
@@ -246,6 +298,15 @@ func (s *Store) List() ([]Entry, error) {
 		return out[i].Ref() < out[j].Ref()
 	})
 	return out, nil
+}
+
+// isParseError reports whether err is a JSON decoding failure — what a
+// half-copied envelope produces — as opposed to an I/O failure.
+func isParseError(err error) bool {
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	return errors.As(err, &syn) || errors.As(err, &typ) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
 }
 
 // readEntry parses just the metadata of a stored envelope — List (and so
@@ -279,17 +340,33 @@ func (s *Store) read(path string) (*envelope, error) {
 	return &env, nil
 }
 
-// Load resolves a reference to a stored run. Accepted forms:
+// Load resolves a reference to a stored run and reads its report.
+func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
+	e, err := s.Resolve(ref)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	rep, err := s.LoadEntry(e)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	return rep, e, nil
+}
+
+// Resolve maps a reference to a stored entry without reading its report —
+// cheap enough for HTTP handlers that may answer from a cache or a 304
+// without ever materializing cells. Accepted forms:
 //
 //	<hash>/<label>   exact
 //	<label>          unique label across the whole store
 //	<hash>           the newest run in that spec group
 //
 // Hashes may be abbreviated to any unique prefix of ≥ 4 hex digits.
-func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
+// A miss wraps ErrNotFound.
+func (s *Store) Resolve(ref string) (Entry, error) {
 	entries, err := s.List()
 	if err != nil {
-		return nil, Entry{}, err
+		return Entry{}, err
 	}
 	var matches []Entry
 	if hash, label, ok := strings.Cut(ref, "/"); ok {
@@ -322,7 +399,7 @@ func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
 					hashes = append(hashes, h)
 				}
 				sort.Strings(hashes)
-				return nil, Entry{}, fmt.Errorf("resultstore: hash prefix %q is ambiguous: %s", ref, strings.Join(hashes, ", "))
+				return Entry{}, fmt.Errorf("resultstore: hash prefix %q is ambiguous: %s", ref, strings.Join(hashes, ", "))
 			}
 			for _, e := range newest {
 				matches = append(matches, e)
@@ -331,20 +408,54 @@ func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
 	}
 	switch len(matches) {
 	case 0:
-		return nil, Entry{}, fmt.Errorf("resultstore: no stored run matches %q (use `list` to see refs)", ref)
+		return Entry{}, fmt.Errorf("resultstore: %w: %q (use `list` to see refs)", ErrNotFound, ref)
 	case 1:
-		rep, err := s.LoadEntry(matches[0])
-		if err != nil {
-			return nil, Entry{}, err
-		}
-		return rep, matches[0], nil
+		return matches[0], nil
 	default:
 		refs := make([]string, len(matches))
 		for i, e := range matches {
 			refs[i] = e.Ref()
 		}
-		return nil, Entry{}, fmt.Errorf("resultstore: %q is ambiguous: %s", ref, strings.Join(refs, ", "))
+		return Entry{}, fmt.Errorf("resultstore: %q is ambiguous: %s", ref, strings.Join(refs, ", "))
 	}
+}
+
+// GetEntry is the keyed O(1) lookup: the exact spec hash and label of one
+// stored run, returning its metadata without scanning the store the way
+// Resolve must. A miss wraps ErrNotFound. Both key parts are validated
+// before touching the filesystem, so hostile values (an HTTP path segment
+// aiming "../" at the host) cannot escape the store directory.
+func (s *Store) GetEntry(specHash, label string) (Entry, error) {
+	if err := validKey(specHash, label); err != nil {
+		// A key that could never have been stored is by definition absent;
+		// reporting it as not-found keeps hostile input off the error path
+		// that suggests store corruption.
+		return Entry{}, fmt.Errorf("resultstore: %w: %v", ErrNotFound, err)
+	}
+	e, err := s.readEntry(filepath.Join(s.dir, specHash, label+".json"))
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return Entry{}, fmt.Errorf("resultstore: %w: %s/%s", ErrNotFound, specHash, label)
+		}
+		return Entry{}, err
+	}
+	if e.SpecHash == "" || e.Label == "" {
+		return Entry{}, fmt.Errorf("resultstore: %w: %s/%s", ErrNotFound, specHash, label)
+	}
+	return e, nil
+}
+
+// validKey guards keyed lookups fed from untrusted input.
+func validKey(specHash, label string) error {
+	if specHash == "" {
+		return fmt.Errorf("resultstore: empty spec hash")
+	}
+	for _, r := range specHash {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return fmt.Errorf("resultstore: spec hash %q is not lowercase hex", specHash)
+		}
+	}
+	return validLabel(label)
 }
 
 // LoadEntry reads the report of an already-resolved entry directly,
@@ -357,15 +468,84 @@ func (s *Store) LoadEntry(e Entry) (*campaign.Report, error) {
 	return env.Report, nil
 }
 
+// LoadSpec reads only the spec of a stored run — what listing filters
+// (which protocols / graph families did this campaign sweep?) need —
+// without retaining the report's cell tree in memory.
+func (s *Store) LoadSpec(e Entry) (campaign.Spec, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, e.SpecHash, e.Label+".json"))
+	if err != nil {
+		return campaign.Spec{}, fmt.Errorf("resultstore: %w", err)
+	}
+	var doc struct {
+		Report struct {
+			Spec campaign.Spec `json:"spec"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return campaign.Spec{}, fmt.Errorf("resultstore: parsing %s: %w", e.Ref(), err)
+	}
+	return doc.Report.Spec, nil
+}
+
+// Stats describes the store's size for health and metrics reporting.
+type Stats struct {
+	// Specs counts distinct spec groups, Reports the stored runs.
+	Specs   int `json:"specs"`
+	Reports int `json:"reports"`
+	// Bytes is the total on-disk size of the stored envelopes.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stat sizes the store with the same mutation tolerance as List: files
+// vanishing mid-walk are simply not counted.
+func (s *Store) Stat() (Stats, error) {
+	var st Stats
+	groups, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("resultstore: %w", err)
+	}
+	for _, g := range groups {
+		if !g.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, g.Name()))
+		if err != nil {
+			continue
+		}
+		n := 0
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			n++
+			st.Bytes += info.Size()
+		}
+		if n > 0 {
+			st.Specs++
+			st.Reports += n
+		}
+	}
+	return st, nil
+}
+
 // LatestPair returns the two newest runs that share the spec hash of the
-// newest run overall — the natural operands of a no-argument diff.
+// newest run overall — the natural operands of a no-argument diff. With an
+// empty store or a single run of the newest spec it wraps ErrNeedTwoRuns,
+// which callers should treat as "nothing to compare yet", not a failure.
 func (s *Store) LatestPair() (old, latest Entry, err error) {
 	entries, err := s.List()
 	if err != nil {
 		return Entry{}, Entry{}, err
 	}
 	if len(entries) == 0 {
-		return Entry{}, Entry{}, fmt.Errorf("resultstore: store is empty")
+		return Entry{}, Entry{}, fmt.Errorf("resultstore: store is empty: %w", ErrNeedTwoRuns)
 	}
 	latest = entries[len(entries)-1]
 	for i := len(entries) - 2; i >= 0; i-- {
@@ -373,6 +553,6 @@ func (s *Store) LatestPair() (old, latest Entry, err error) {
 			return entries[i], latest, nil
 		}
 	}
-	return Entry{}, Entry{}, fmt.Errorf("resultstore: only one stored run of spec %s (%s); need two to diff",
-		latest.SpecHash, latest.Label)
+	return Entry{}, Entry{}, fmt.Errorf("resultstore: only one stored run of spec %s (%s): %w",
+		latest.SpecHash, latest.Label, ErrNeedTwoRuns)
 }

@@ -2,6 +2,9 @@ package resultstore
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -169,6 +172,163 @@ func TestLoadRefForms(t *testing.T) {
 	}
 	if _, _, err := st.Load("tagged"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
 		t.Errorf("ambiguous ref: got %v", err)
+	}
+}
+
+// TestListSurvivesMutatedStore pins the read-snapshot contract behind the
+// HTTP server: a store being written (or half-synced) underneath a listing
+// yields the intact entries, not an error. Partial, foreign and in-flight
+// files are all invisible; List, LatestPair and Stat agree on what counts.
+func TestListSurvivesMutatedStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	e1, err := st.Save(rep, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, "second"); err != nil {
+		t.Fatal(err)
+	}
+	group := filepath.Join(dir, e1.SpecHash)
+	// The kinds of debris a live or half-copied store can hold:
+	writeFile := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(filepath.Join(group, "third.abc123.tmp"), `{"spec_hash":"x"`) // in-flight save
+	writeFile(filepath.Join(group, "truncated.json"), `{"spec_hash":"`)     // partial copy
+	writeFile(filepath.Join(group, "foreign.json"), `{}`)                   // parses, but no entry
+	writeFile(filepath.Join(group, "notes.txt"), "scratch")                 // stray non-JSON
+	writeFile(filepath.Join(dir, "README"), "top-level stray")              // stray at the root
+	if err := os.MkdirAll(filepath.Join(group, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := st.List()
+	if err != nil {
+		t.Fatalf("List over mutated store: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Label != "first" || entries[1].Label != "second" {
+		t.Fatalf("entries = %+v, want the two intact runs", entries)
+	}
+	old, latest, err := st.LatestPair()
+	if err != nil {
+		t.Fatalf("LatestPair over mutated store: %v", err)
+	}
+	if old.Label != "first" || latest.Label != "second" {
+		t.Errorf("LatestPair = %s → %s", old.Label, latest.Label)
+	}
+	stat, err := st.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// foreign.json and truncated.json are .json files and counted by size
+	// (Stat sizes the directory); but only intact runs are listable. The
+	// report count tracks .json files — debris inflates bytes, never refs.
+	if stat.Specs != 1 {
+		t.Errorf("stat.Specs = %d, want 1", stat.Specs)
+	}
+	if stat.Bytes == 0 {
+		t.Error("stat.Bytes = 0")
+	}
+	// A save sequenced after the debris still works and continues the
+	// sequence from the intact entries.
+	e3, err := st.Save(rep, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Seq != 3 {
+		t.Errorf("post-debris save seq = %d, want 3", e3.Seq)
+	}
+}
+
+// TestListFailsLoudOnUnreadableEntry draws the line of the snapshot
+// tolerance: a file that exists but cannot be read at all (here a symlink
+// loop standing in for I/O trouble) is a store fault, not store churn —
+// List must error rather than silently shrink and let a downstream diff
+// gate conclude "nothing to compare".
+func TestListFailsLoudOnUnreadableEntry(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.Save(runSmoke(t), "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := filepath.Join(dir, e.SpecHash, "broken.json")
+	if err := os.Symlink(loop, loop); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if _, err := st.List(); err == nil {
+		t.Error("List over an unreadable entry succeeded; a broken store must stay loud")
+	}
+}
+
+// TestKeyedLookupAndSentinels covers the server-facing store API: exact
+// GetEntry, spec-only loads, ref resolution misses wrapping ErrNotFound,
+// LatestPair wrapping ErrNeedTwoRuns, and ETag shape.
+func TestKeyedLookupAndSentinels(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LatestPair(); !errors.Is(err, ErrNeedTwoRuns) {
+		t.Errorf("LatestPair on empty store: %v, want ErrNeedTwoRuns", err)
+	}
+	rep := runSmoke(t)
+	e, err := st.Save(rep, "only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LatestPair(); !errors.Is(err, ErrNeedTwoRuns) {
+		t.Errorf("LatestPair with one run: %v, want ErrNeedTwoRuns", err)
+	}
+
+	got, err := st.GetEntry(e.SpecHash, "only")
+	if err != nil || got != e {
+		t.Errorf("GetEntry = %+v, %v", got, err)
+	}
+	if _, err := st.GetEntry(e.SpecHash, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetEntry miss: %v, want ErrNotFound", err)
+	}
+	// Hostile keys can never escape the store directory; they are simply
+	// not found.
+	for _, bad := range [][2]string{{"..", "only"}, {e.SpecHash, "../only"}, {"ZZ", "only"}} {
+		if _, err := st.GetEntry(bad[0], bad[1]); !errors.Is(err, ErrNotFound) {
+			t.Errorf("GetEntry(%q, %q): %v, want ErrNotFound", bad[0], bad[1], err)
+		}
+	}
+	if _, err := st.Resolve("nonesuch"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Resolve miss: %v, want ErrNotFound", err)
+	}
+	if _, err := st.Save(rep, "only"); !errors.Is(err, ErrLabelTaken) {
+		t.Errorf("duplicate save: %v, want ErrLabelTaken", err)
+	}
+	if _, err := st.Save(rep, "sp ace"); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("bad label save: %v, want ErrBadLabel", err)
+	}
+
+	spec, err := st.LoadSpec(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Protocols) != 1 || spec.Protocols[0] != "build-forest" {
+		t.Errorf("LoadSpec protocols = %v", spec.Protocols)
+	}
+
+	if tag := e.ETag("json"); tag != `"`+e.SpecHash+`/only:json"` {
+		t.Errorf("ETag = %s", tag)
+	}
+	if e.ETag("json") == e.ETag("csv") {
+		t.Error("representations share an ETag")
 	}
 }
 

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lru is a fixed-capacity, concurrency-safe cache of rendered response
+// bodies. Keys are store key pairs plus a representation variant, and the
+// underlying runs are immutable, so entries never need invalidation — the
+// only eviction is capacity pressure, oldest-use first. Hit and miss
+// counters feed the metrics endpoint.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add inserts (or refreshes) a body, evicting the least recently used
+// entry beyond capacity. Bodies are cached as-is; callers must not mutate
+// them afterwards.
+func (c *lru) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// stats snapshots the counters for the metrics endpoint.
+func (c *lru) stats() (hits, misses int64, entries, capacity int) {
+	return c.hits.Load(), c.misses.Load(), c.len(), c.cap
+}

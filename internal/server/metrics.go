@@ -1,0 +1,46 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+// metrics counts requests per route pattern. Counting happens in a
+// wrapping handler keyed by http.Request.Pattern, so new routes are
+// counted the moment they are registered, without a parallel list to
+// forget updating.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]int64)}
+}
+
+// instrument wraps a handler, counting each request under its matched
+// route pattern (or "unmatched" for the 404 fallthrough).
+func (m *metrics) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		m.mu.Lock()
+		m.requests[pattern]++
+		m.mu.Unlock()
+	})
+}
+
+// snapshot copies the per-route counts (encoding/json renders map keys
+// sorted, so the metrics body is deterministic without extra work here).
+func (m *metrics) snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}

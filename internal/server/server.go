@@ -1,0 +1,541 @@
+// Package server exposes one or more result stores over HTTP: the
+// read-mostly complement to `wbcampaign run -store`. Campaigns are
+// produced once and browsed many times — per-cell complexity tables,
+// cross-revision diffs, model-comparison sweeps — so the service leans
+// hard on the store's content addressing: every report and diff response
+// carries a strong ETag derived from the immutable store key pair, a
+// conditional request with that tag short-circuits to 304 Not Modified
+// without touching a report body, and rendered diffs are kept in an
+// in-memory LRU so repeated comparisons never recompute.
+//
+// Routes (all responses are JSON unless negotiated otherwise):
+//
+//	GET  /api/v1/reports                    list stored runs; filters:
+//	                                        ?spec= ?label= ?protocol= ?graph= ?mode=
+//	GET  /api/v1/reports/{hash}/{label}     one report; ?format=json|csv or Accept: text/csv
+//	GET  /api/v1/diff?old=REF&new=REF       pairwise diff; ?format=text|json or
+//	                                        Accept: application/json; no refs = latest pair
+//	POST /api/v1/reports?label=L            ingest a report into the primary store
+//	GET  /healthz                           liveness (cheap, no store scan)
+//	GET  /metricsz                          request counts, cache hit rate, store sizes
+//
+// Reads are safe against stores being written concurrently by
+// `wbcampaign run -store`: listings are mutation-tolerant snapshots
+// (resultstore.List) and stored files only ever appear atomically.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/resultstore"
+)
+
+// DefaultCacheSize bounds the rendered-diff LRU when Options leaves it 0.
+const DefaultCacheSize = 256
+
+// Options configures a Server.
+type Options struct {
+	// Stores are the result stores to serve, merged into one namespace.
+	// Lookups try them in order; ingest writes to the first.
+	Stores []*resultstore.Store
+	// CacheSize is the rendered-diff LRU capacity; 0 means DefaultCacheSize.
+	CacheSize int
+	// ReadOnly disables the ingest route (403 on POST).
+	ReadOnly bool
+	// Logf, when non-nil, receives one line per request error.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP facade over the stores. It is safe for concurrent
+// use; construct it with New.
+type Server struct {
+	stores   []*resultstore.Store
+	cache    *lru
+	metrics  *metrics
+	readOnly bool
+	logf     func(format string, args ...any)
+	handler  http.Handler
+}
+
+// New builds a Server over the given stores.
+func New(opts Options) (*Server, error) {
+	if len(opts.Stores) == 0 {
+		return nil, fmt.Errorf("server: at least one result store is required")
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		stores:   opts.Stores,
+		cache:    newLRU(size),
+		metrics:  newMetrics(),
+		readOnly: opts.ReadOnly,
+		logf:     logf,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/reports", s.handleList)
+	mux.HandleFunc("POST /api/v1/reports", s.handleIngest)
+	mux.HandleFunc("GET /api/v1/reports/{hash}/{label}", s.handleReport)
+	mux.HandleFunc("GET /api/v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	// Method-less fallbacks: the catch-all "/" below would otherwise
+	// swallow wrong-method requests as 404s, hiding the Allow set.
+	mux.Handle("/api/v1/reports", s.methodNotAllowed("GET, POST"))
+	mux.Handle("/api/v1/reports/{hash}/{label}", s.methodNotAllowed("GET"))
+	mux.Handle("/api/v1/diff", s.methodNotAllowed("GET"))
+	mux.Handle("/healthz", s.methodNotAllowed("GET"))
+	mux.Handle("/metricsz", s.methodNotAllowed("GET"))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+	})
+	s.handler = s.metrics.instrument(mux)
+	return s, nil
+}
+
+// Handler returns the service's root handler, ready for an http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// methodNotAllowed answers 405 with an Allow header for a route whose
+// path exists but whose method patterns did not match.
+func (s *Server) methodNotAllowed(allow string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.error(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
+	})
+}
+
+// error emits a JSON error body; every non-2xx response goes through it.
+func (s *Server) error(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// storeError maps a store failure to a status code via the resultstore
+// sentinels, logging the ones that indicate real trouble.
+func (s *Server) storeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resultstore.ErrNotFound):
+		s.error(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, resultstore.ErrNeedTwoRuns):
+		s.error(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, resultstore.ErrLabelTaken):
+		s.error(w, http.StatusConflict, err.Error())
+	default:
+		s.logf("server: %v", err)
+		s.error(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeJSON emits a 200 JSON body.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// immutable marks a response as permanently cacheable — correct precisely
+// because stored runs are content-addressed and never rewritten.
+const immutableCacheControl = "public, max-age=31536000, immutable"
+
+// setCacheHeaders emits the validator headers for a successful (or 304)
+// response. Only a request that spelled out the full immutable store keys
+// gets the year-long immutable lifetime: abbreviated hashes, bare labels
+// and the no-ref latest-pair diff are conveniences whose *URL* can come
+// to mean a different run as the store grows, so they carry no-cache and
+// stay correct through ETag revalidation instead. Errors never come
+// through here — a 404 pinned in a shared cache for a year would outlive
+// the transient condition that caused it.
+func setCacheHeaders(w http.ResponseWriter, etag string, canonical bool) {
+	w.Header().Set("ETag", etag)
+	if canonical {
+		w.Header().Set("Cache-Control", immutableCacheControl)
+	} else {
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+}
+
+// etagMatch implements If-None-Match against one strong tag: "*" matches
+// anything that exists, otherwise any member of the comma-separated list
+// must equal the tag (weak-prefixed members can never strong-match).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		if strings.TrimSpace(candidate) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// --- listing ---
+
+// listItem is one row of the list response: the entry plus its canonical
+// ref, ready to paste into the report and diff routes.
+type listItem struct {
+	resultstore.Entry
+	RefStr string `json:"ref"`
+}
+
+// located pairs an entry with the store it came from; lookups over
+// multiple stores need to remember which one answered.
+type located struct {
+	entry resultstore.Entry
+	store *resultstore.Store
+}
+
+// list snapshots every store, in store order then save order.
+func (s *Server) list() ([]located, error) {
+	var out []located
+	for _, st := range s.stores {
+		entries, err := st.List()
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			out = append(out, located{entry: e, store: st})
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	specPrefix := q.Get("spec")
+	label := q.Get("label")
+	mode := q.Get("mode")
+	protocol := q.Get("protocol")
+	graph := q.Get("graph")
+
+	all, err := s.list()
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	items := make([]listItem, 0, len(all))
+	for _, loc := range all {
+		e := loc.entry
+		if specPrefix != "" && !strings.HasPrefix(e.SpecHash, specPrefix) {
+			continue
+		}
+		if label != "" && e.Label != label {
+			continue
+		}
+		if mode != "" && e.Mode != mode {
+			continue
+		}
+		if protocol != "" || graph != "" {
+			// Axis filters need the stored spec; cheap filters above keep
+			// this read off as many entries as possible.
+			spec, err := loc.store.LoadSpec(e)
+			if err != nil {
+				continue // entry vanished mid-listing; the snapshot moves on
+			}
+			if protocol != "" && !contains(spec.Protocols, protocol) {
+				continue
+			}
+			if graph != "" && !contains(spec.Graphs, graph) {
+				continue
+			}
+		}
+		items = append(items, listItem{Entry: e, RefStr: e.Ref()})
+	}
+	s.writeJSON(w, map[string]any{"count": len(items), "reports": items})
+}
+
+func contains(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// --- single report ---
+
+// lookup resolves a (hash, label) path pair across the stores: exact
+// keyed lookup first (O(1)), then ref resolution so abbreviated hashes
+// keep working like they do on the CLI.
+func (s *Server) lookup(hash, label string) (located, error) {
+	var firstErr error
+	for _, st := range s.stores {
+		e, err := st.GetEntry(hash, label)
+		if err == nil {
+			return located{entry: e, store: st}, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, st := range s.stores {
+		e, err := st.Resolve(hash + "/" + label)
+		if err == nil {
+			return located{entry: e, store: st}, nil
+		}
+		if !errors.Is(err, resultstore.ErrNotFound) {
+			return located{}, err
+		}
+	}
+	if firstErr != nil && !errors.Is(firstErr, resultstore.ErrNotFound) {
+		return located{}, firstErr
+	}
+	return located{}, fmt.Errorf("%w: %s/%s", resultstore.ErrNotFound, hash, label)
+}
+
+// reportFormat negotiates the report representation: an explicit ?format=
+// wins, then Accept: text/csv, defaulting to JSON.
+func reportFormat(r *http.Request) (format, contentType string, err error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+		if strings.Contains(r.Header.Get("Accept"), "text/csv") {
+			return "csv", "text/csv", nil
+		}
+		return "json", "application/json", nil
+	case "json":
+		return "json", "application/json", nil
+	case "csv":
+		return "csv", "text/csv", nil
+	default:
+		return "", "", fmt.Errorf("unknown format %q (want json or csv)", f)
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	format, contentType, err := reportFormat(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	loc, err := s.lookup(r.PathValue("hash"), r.PathValue("label"))
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	etag := loc.entry.ETag(format)
+	canonical := r.PathValue("hash") == loc.entry.SpecHash && r.PathValue("label") == loc.entry.Label
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		// The tag names immutable content: not modified, body never loaded.
+		setCacheHeaders(w, etag, canonical)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	rep, err := loc.store.LoadEntry(loc.entry)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, format); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	setCacheHeaders(w, etag, canonical)
+	w.Header().Set("Content-Type", contentType)
+	w.Write(buf.Bytes())
+}
+
+// --- diff ---
+
+// diffFormat negotiates the diff representation: ?format= wins, then
+// Accept: application/json, defaulting to the CLI's text rendering.
+func diffFormat(r *http.Request) (format, contentType string, err error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+		if strings.Contains(r.Header.Get("Accept"), "application/json") {
+			return "json", "application/json", nil
+		}
+		return "text", "text/plain; charset=utf-8", nil
+	case "json":
+		return "json", "application/json", nil
+	case "text":
+		return "text", "text/plain; charset=utf-8", nil
+	default:
+		return "", "", fmt.Errorf("unknown format %q (want text or json)", f)
+	}
+}
+
+// resolveRef resolves a diff operand across the stores.
+func (s *Server) resolveRef(ref string) (located, error) {
+	for _, st := range s.stores {
+		e, err := st.Resolve(ref)
+		if err == nil {
+			return located{entry: e, store: st}, nil
+		}
+		if !errors.Is(err, resultstore.ErrNotFound) {
+			return located{}, err
+		}
+	}
+	return located{}, fmt.Errorf("%w: %q", resultstore.ErrNotFound, ref)
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	format, contentType, err := diffFormat(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	oldRef, newRef := q.Get("old"), q.Get("new")
+	if (oldRef == "") != (newRef == "") {
+		s.error(w, http.StatusBadRequest, "diff wants both old= and new= refs, or neither (latest pair)")
+		return
+	}
+	var oldLoc, newLoc located
+	if oldRef == "" {
+		// No refs: the latest two runs of the newest spec in the primary
+		// store, mirroring `wbcampaign diff` with no arguments.
+		oldEntry, newEntry, err := s.stores[0].LatestPair()
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		oldLoc = located{entry: oldEntry, store: s.stores[0]}
+		newLoc = located{entry: newEntry, store: s.stores[0]}
+	} else {
+		if oldLoc, err = s.resolveRef(oldRef); err != nil {
+			s.storeError(w, err)
+			return
+		}
+		if newLoc, err = s.resolveRef(newRef); err != nil {
+			s.storeError(w, err)
+			return
+		}
+	}
+
+	// The cache key and the ETag carry the same information — the resolved
+	// immutable key pair plus the representation — so a conditional request
+	// and a cache hit are both exact.
+	key := oldLoc.entry.Ref() + "+" + newLoc.entry.Ref() + ":" + format
+	etag := `"diff:` + key + `"`
+	canonical := oldRef == oldLoc.entry.Ref() && newRef == newLoc.entry.Ref()
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		setCacheHeaders(w, etag, canonical)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, hit := s.cache.get(key)
+	if !hit {
+		oldRep, err := oldLoc.store.LoadEntry(oldLoc.entry)
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		newRep, err := newLoc.store.LoadEntry(newLoc.entry)
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		d := resultstore.DiffReports(oldRep, newRep)
+		d.OldRef, d.NewRef = oldLoc.entry.Ref(), newLoc.entry.Ref()
+		var buf bytes.Buffer
+		if err := d.Render(&buf, format); err != nil {
+			s.storeError(w, err)
+			return
+		}
+		body = buf.Bytes()
+		s.cache.add(key, body)
+	}
+	setCacheHeaders(w, etag, canonical)
+	w.Header().Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
+}
+
+// --- ingest ---
+
+// maxIngestBytes bounds an ingest body; a full exhaustive report is well
+// under a megabyte, so 64 MiB leaves room without inviting memory abuse.
+const maxIngestBytes = 64 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		s.error(w, http.StatusForbidden, "server is read-only; ingest is disabled")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	dec.DisallowUnknownFields()
+	var rep campaign.Report
+	if err := dec.Decode(&rep); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad report body: %v", err))
+		return
+	}
+	// A report that would not validate as a spec is garbage or from an
+	// incompatible revision; reject it before it poisons the store.
+	if err := rep.Spec.Normalize().Validate(); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad report spec: %v", err))
+		return
+	}
+	entry, err := s.stores[0].Save(&rep, r.URL.Query().Get("label"))
+	if err != nil {
+		if errors.Is(err, resultstore.ErrBadLabel) {
+			s.error(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	data, _ := json.MarshalIndent(listItem{Entry: entry, RefStr: entry.Ref()}, "", "  ")
+	w.Write(append(data, '\n'))
+}
+
+// --- health and metrics ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{"status": "ok", "stores": len(s.stores)})
+}
+
+// storeMetrics is one store's row in the metrics body.
+type storeMetrics struct {
+	Dir string `json:"dir"`
+	resultstore.Stats
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries, capacity := s.cache.stats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	stores := make([]storeMetrics, 0, len(s.stores))
+	for _, st := range s.stores {
+		stat, err := st.Stat()
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		stores = append(stores, storeMetrics{Dir: st.Dir(), Stats: stat})
+	}
+	s.writeJSON(w, map[string]any{
+		"requests": s.metrics.snapshot(),
+		"diff_cache": map[string]any{
+			"hits": hits, "misses": misses,
+			"entries": entries, "capacity": capacity,
+			"hit_rate": rate,
+		},
+		"stores": stores,
+	})
+}
