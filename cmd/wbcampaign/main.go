@@ -7,22 +7,30 @@
 // Specs with "mode": "exhaustive" enumerate every adversarial schedule per
 // cell (engine.RunAll) instead of sampling adversaries.
 //
-// Subcommands wire the persistent result store:
+// Subcommands wire the persistent result store and the wbserve job API —
+// the CLI is one of three clients (with the Go SDK and HTTP) of the same
+// public campaign API (repro/campaign, repro/registry, repro/store):
 //
 //	wbcampaign run  -spec examples/campaigns/smoke.json -store
 //	wbcampaign run  -spec ... -push http://host:8080     # publish to wbserve
+//	wbcampaign run  -spec ... -remote http://host:8080   # execute ON wbserve
 //	wbcampaign list
 //	wbcampaign diff                  # latest two runs of the newest spec
 //	wbcampaign diff run-001 run-002  # explicit refs, -json for machines
+//	wbcampaign gc -keep 5            # prune old runs, keeping 5 per spec
 //
 // `run` without a subcommand word keeps working for compatibility:
 //
 //	wbcampaign -spec examples/campaigns/smoke.json
 //	wbcampaign -protocols bfs,mis -graphs gnp,tree -sizes 8,16 -seeds 5
 //
-// diff exits 0 when the reports agree (including the nothing-to-compare
-// case of a store holding fewer than two runs of a spec), 1 when any cell
-// differs, 2 on errors — fit for CI regression gates.
+// -remote submits the spec to a wbserve job endpoint (POST
+// /api/v1/campaigns), polls the job's cells-done progress, and exits
+// when the report is stored server-side — byte-identical to a local run
+// of the same spec. diff exits 0 when the reports agree (including the
+// nothing-to-compare case of a store holding fewer than two runs of a
+// spec), 1 when any cell differs, 2 on errors — fit for CI regression
+// gates. gc refuses to remove caller-labeled runs unless -force is set.
 package main
 
 import (
@@ -39,9 +47,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/campaign"
-	"repro/internal/registry"
-	"repro/internal/resultstore"
+	"repro/campaign"
+	"repro/registry"
+	"repro/store"
 )
 
 const defaultStoreDir = ".wbstore"
@@ -59,6 +67,9 @@ func main() {
 		case "diff":
 			diffCmd(args[1:])
 			return
+		case "gc":
+			gcCmd(args[1:])
+			return
 		case "help", "-h", "-help", "--help":
 			usage(os.Stdout)
 			return
@@ -74,17 +85,20 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprint(w, `usage: wbcampaign [run|list|diff] [flags]
+	fmt.Fprint(w, `usage: wbcampaign [run|list|diff|gc] [flags]
 
   run   execute a campaign spec (default when flags are given directly)
   list  list runs stored with `+"`run -store`"+`
   diff  compare two stored runs cell by cell (exit 1 when they differ)
+  gc    prune stored runs, keeping the newest N per spec
 
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
            [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
-           [-push URL] [-label L] [-workers N] [-out FILE] [-csv FILE] [-quiet]
+           [-push URL] [-remote URL] [-label L] [-workers N] [-out FILE]
+           [-csv FILE] [-quiet]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
+gc flags:   -keep N [-dir DIR] [-force] [-quiet]
 `)
 }
 
@@ -107,9 +121,10 @@ func runCmd(args []string) {
 		workers    = fs.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
 		out        = fs.String("out", "", "JSON report path; empty = stdout (unless -store)")
 		csvPath    = fs.String("csv", "", "also write a CSV report here")
-		store      = fs.Bool("store", false, "persist the report in the result store for later list/diff")
+		toStore    = fs.Bool("store", false, "persist the report in the result store for later list/diff")
 		dir        = fs.String("dir", defaultStoreDir, "result store directory (with -store)")
 		push       = fs.String("push", "", "publish the report to a wbserve base URL (e.g. http://host:8080)")
+		remote     = fs.String("remote", "", "execute the campaign ON a wbserve base URL: submit the spec as a job, poll to completion")
 		label      = fs.String("label", "", "store label, e.g. from git describe; empty = auto run-NNN")
 		quiet      = fs.Bool("quiet", false, "suppress the live progress line and summary")
 	)
@@ -120,10 +135,21 @@ func runCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "wbcampaign run: unexpected argument %q (did you mean -spec %s?)\n", fs.Arg(0), fs.Arg(0))
 		os.Exit(2)
 	}
-	if !*store {
+	if *remote != "" {
+		// A remote run executes and stores server-side; flags that demand a
+		// local execution product would be silently dead, so refuse them.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "store", "dir", "push", "workers":
+				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s conflicts with -remote (the report is produced and stored server-side)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+	if !*toStore && *remote == "" {
 		// -dir only matters with -store, and -label needs a destination
-		// (-store or -push); accepting them silently would let a forgotten
-		// -store look like a persisted run.
+		// (-store, -push or -remote); accepting them silently would let a
+		// forgotten -store look like a persisted run.
 		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "dir" || (f.Name == "label" && *push == "") {
 				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s requires -store\n", f.Name)
@@ -185,6 +211,13 @@ func runCmd(args []string) {
 		}
 	}
 
+	if *remote != "" {
+		if err := runRemote(*remote, spec, *label, *quiet, *out, *csvPath); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	opts := campaign.Options{Workers: *workers}
 	if !*quiet {
 		opts.OnProgress = func(done, total int) {
@@ -204,8 +237,8 @@ func runCmd(args []string) {
 		fmt.Fprintln(os.Stderr, rep.Summary())
 	}
 
-	if *store {
-		st, err := resultstore.Open(*dir)
+	if *toStore {
+		st, err := store.Open(*dir)
 		if err != nil {
 			fail(err)
 		}
@@ -229,7 +262,7 @@ func runCmd(args []string) {
 	// With a store destination and no -out the store is the destination;
 	// skip the stdout dump so `run -store` twice then `diff` (or a `-push`
 	// into a served store) composes quietly in scripts.
-	if *out == "" && (*store || *push != "") {
+	if *out == "" && (*toStore || *push != "") {
 		if *csvPath != "" {
 			writeCSV(rep, *csvPath)
 		}
@@ -271,7 +304,7 @@ func listCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "wbcampaign list: takes no arguments")
 		os.Exit(2)
 	}
-	st, err := resultstore.Open(*dir)
+	st, err := store.Open(*dir)
 	if err != nil {
 		fail(err)
 	}
@@ -299,7 +332,7 @@ func diffCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "wbcampaign diff: want zero refs (latest two of newest spec) or exactly two")
 		os.Exit(2)
 	}
-	st, err := resultstore.Open(*dir)
+	st, err := store.Open(*dir)
 	if err != nil {
 		faild(err)
 	}
@@ -316,15 +349,15 @@ func diffCmd(args []string) {
 // report, not an error to fail a pipeline on — and 1 on any cell delta.
 // Operational failures (unreadable store, bad refs) return an error; the
 // caller maps those to exit 2.
-func runDiff(st *resultstore.Store, refs []string, asJSON bool, w io.Writer) (int, error) {
+func runDiff(st *store.Store, refs []string, asJSON bool, w io.Writer) (int, error) {
 	var (
-		oldEntry, newEntry resultstore.Entry
+		oldEntry, newEntry store.Entry
 		oldRep, newRep     *campaign.Report
 		err                error
 	)
 	if len(refs) == 0 {
 		oldEntry, newEntry, err = st.LatestPair()
-		if errors.Is(err, resultstore.ErrNeedTwoRuns) {
+		if errors.Is(err, store.ErrNeedTwoRuns) {
 			fmt.Fprintf(w, "nothing to diff yet: %v\n(store two runs with `wbcampaign run -store`, then diff)\n", err)
 			return 0, nil
 		}
@@ -345,7 +378,7 @@ func runDiff(st *resultstore.Store, refs []string, asJSON bool, w io.Writer) (in
 			return 0, err
 		}
 	}
-	d := resultstore.DiffReports(oldRep, newRep)
+	d := store.DiffReports(oldRep, newRep)
 	d.OldRef, d.NewRef = oldEntry.Ref(), newEntry.Ref()
 	format := "text"
 	if asJSON {
@@ -360,12 +393,170 @@ func runDiff(st *resultstore.Store, refs []string, asJSON bool, w io.Writer) (in
 	return 0, nil
 }
 
+// gcCmd prunes stored runs: all but the newest -keep per spec group.
+// Caller-labeled runs pin the pass unless -force is set, so a tagged
+// baseline ("v1.2-3-gabc123") can never be collected by accident.
+func gcCmd(args []string) {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := fs.String("dir", defaultStoreDir, "result store directory")
+	keep := fs.Int("keep", 0, "runs to keep per spec group (required, ≥ 1)")
+	force := fs.Bool("force", false, "also remove caller-labeled runs")
+	quiet := fs.Bool("quiet", false, "suppress the per-run removal listing")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "wbcampaign gc: takes no arguments")
+		os.Exit(2)
+	}
+	if *keep < 1 {
+		fmt.Fprintln(os.Stderr, "wbcampaign gc: -keep N is required (N ≥ 1)")
+		os.Exit(2)
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fail(err)
+	}
+	res, err := st.GC(*keep, *force)
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		for _, e := range res.Removed {
+			fmt.Printf("removed %s (seq %d)\n", e.Ref(), e.Seq)
+		}
+	}
+	fmt.Printf("gc: removed %d runs, kept %d (keep %d per spec)\n", len(res.Removed), res.Kept, *keep)
+}
+
+// remoteJob mirrors the server's job-status document; only the fields the
+// CLI renders are decoded.
+type remoteJob struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	CellsDone  int    `json:"cells_done"`
+	CellsTotal int    `json:"cells_total"`
+	Error      string `json:"error"`
+	Ref        string `json:"ref"`
+	ReportURL  string `json:"report_url"`
+}
+
+// runRemote executes a campaign on a wbserve instance through the v1 job
+// API: submit the spec, poll the job's cells-done progress until it
+// reaches a terminal state, and optionally download the stored report —
+// byte-identical to a local run — into -out/-csv.
+func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath string) error {
+	base := strings.TrimSuffix(baseURL, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	target := base + "/api/v1/campaigns"
+	if label != "" {
+		target += "?label=" + url.QueryEscape(label)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	data, err := readBody(resp)
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("remote: %s answered %s: %s", target, resp.Status, strings.TrimSpace(string(data)))
+	}
+	var job remoteJob
+	if err := json.Unmarshal(data, &job); err != nil {
+		return fmt.Errorf("remote: parsing submission response: %w", err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "submitted %s to %s (%d cells)\n", job.ID, base, job.CellsTotal)
+	}
+
+	statusURL := base + "/api/v1/campaigns/" + job.ID
+	for job.State == "running" {
+		time.Sleep(150 * time.Millisecond)
+		resp, err := client.Get(statusURL)
+		if err != nil {
+			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
+		}
+		data, err := readBody(resp)
+		if err != nil {
+			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("remote: polling %s: %s: %s", job.ID, resp.Status, strings.TrimSpace(string(data)))
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			return fmt.Errorf("remote: parsing status: %w", err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", job.CellsDone, job.CellsTotal)
+		}
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if job.State != "done" {
+		return fmt.Errorf("remote: job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "remote stored %s on %s\n", job.Ref, base)
+	}
+	if out != "" {
+		if err := fetchRendered(client, base+job.ReportURL, out); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := fetchRendered(client, base+job.ReportURL+"?format=csv", csvPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchRendered downloads one rendered report representation to a file.
+func fetchRendered(client *http.Client, target, path string) error {
+	resp, err := client.Get(target)
+	if err != nil {
+		return fmt.Errorf("remote: fetching report: %w", err)
+	}
+	data, err := readBody(resp)
+	if err != nil {
+		return fmt.Errorf("remote: fetching report: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: fetching report: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	return nil
+}
+
+// readBody drains and closes a response body with a sanity bound,
+// erroring — rather than silently truncating — when the bound is hit, so
+// a downloaded report can never be persisted half-read.
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	const limit = 64 << 20
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > limit {
+		return nil, fmt.Errorf("response body exceeds %d bytes", limit)
+	}
+	return data, nil
+}
+
 // pushReport publishes a finished report to a wbserve ingest endpoint,
 // returning the entry the server stored it under.
-func pushReport(baseURL string, rep *campaign.Report, label string) (resultstore.Entry, error) {
+func pushReport(baseURL string, rep *campaign.Report, label string) (store.Entry, error) {
 	var body bytes.Buffer
 	if err := rep.WriteJSON(&body); err != nil {
-		return resultstore.Entry{}, err
+		return store.Entry{}, err
 	}
 	target := strings.TrimSuffix(baseURL, "/") + "/api/v1/reports"
 	if label != "" {
@@ -374,20 +565,19 @@ func pushReport(baseURL string, rep *campaign.Report, label string) (resultstore
 	client := &http.Client{Timeout: 30 * time.Second}
 	resp, err := client.Post(target, "application/json", &body)
 	if err != nil {
-		return resultstore.Entry{}, fmt.Errorf("push: %w", err)
+		return store.Entry{}, fmt.Errorf("push: %w", err)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	data, err := readBody(resp)
 	if err != nil {
-		return resultstore.Entry{}, fmt.Errorf("push: reading response: %w", err)
+		return store.Entry{}, fmt.Errorf("push: reading response: %w", err)
 	}
 	if resp.StatusCode != http.StatusCreated {
-		return resultstore.Entry{}, fmt.Errorf("push: %s answered %s: %s",
+		return store.Entry{}, fmt.Errorf("push: %s answered %s: %s",
 			target, resp.Status, strings.TrimSpace(string(data)))
 	}
-	var entry resultstore.Entry
+	var entry store.Entry
 	if err := json.Unmarshal(data, &entry); err != nil {
-		return resultstore.Entry{}, fmt.Errorf("push: parsing response: %w", err)
+		return store.Entry{}, fmt.Errorf("push: parsing response: %w", err)
 	}
 	return entry, nil
 }

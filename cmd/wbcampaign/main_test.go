@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
-	"repro/internal/campaign"
-	"repro/internal/resultstore"
+	"repro/campaign"
 	"repro/internal/server"
+	"repro/store"
 )
 
 func smokeReport(t *testing.T, sizes ...int) *campaign.Report {
@@ -33,7 +36,7 @@ func smokeReport(t *testing.T, sizes ...int) *campaign.Report {
 // fewer than two runs of a spec is a "nothing to compare yet" state —
 // exit 0 with a clear message — not an opaque error.
 func TestRunDiffNeedTwoRuns(t *testing.T) {
-	st, err := resultstore.Open(t.TempDir())
+	st, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestRunDiffNeedTwoRuns(t *testing.T) {
 
 // TestRunDiffAgreeAndDiffer pins the exit codes once two runs exist.
 func TestRunDiffAgreeAndDiffer(t *testing.T) {
-	st, err := resultstore.Open(t.TempDir())
+	st, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +104,11 @@ func TestRunDiffAgreeAndDiffer(t *testing.T) {
 // TestPushReport publishes a report to an in-process wbserve and checks
 // it landed, plus the error surface on rejection.
 func TestPushReport(t *testing.T) {
-	st, err := resultstore.Open(t.TempDir())
+	st, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Options{Stores: []*resultstore.Store{st}})
+	srv, err := server.New(server.Options{Stores: []*store.Store{st}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +120,7 @@ func TestPushReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if entry.Label != "pushed-v1" || entry.SpecHash != resultstore.SpecHash(rep.Spec) {
+	if entry.Label != "pushed-v1" || entry.SpecHash != store.SpecHash(rep.Spec) {
 		t.Errorf("pushed entry %+v", entry)
 	}
 	if _, err := st.GetEntry(entry.SpecHash, "pushed-v1"); err != nil {
@@ -133,5 +136,186 @@ func TestPushReport(t *testing.T) {
 	// A duplicate label is refused by the server; the client surfaces it.
 	if _, err := pushReport(ts.URL, rep, "pushed-v1"); err == nil || !strings.Contains(err.Error(), "409") {
 		t.Errorf("duplicate push: %v", err)
+	}
+}
+
+// writeSpecFile materializes a spec as a JSON file for -spec runs.
+func writeSpecFile(t *testing.T, spec campaign.Spec) string {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSDKCLIHTTPEquivalence pins the PR's acceptance criterion: the same
+// spec executed through the public Go SDK, through `wbcampaign run
+// -store`, and through HTTP job submission (`run -remote`) produces
+// byte-identical stored reports.
+func TestSDKCLIHTTPEquivalence(t *testing.T) {
+	spec := campaign.Spec{
+		Name:        "equivalence",
+		Protocols:   []string{"build-forest", "mis"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min", "max"},
+		Sizes:       []int{4, 5},
+		Seeds:       2,
+	}
+	dir := t.TempDir()
+	specFile := writeSpecFile(t, spec)
+
+	// Route 1: the public SDK, straight into the store.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := campaign.Run(spec, campaign.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, "sdk"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Route 2: the CLI, run -store.
+	runCmd([]string{"-spec", specFile, "-store", "-dir", dir, "-label", "cli", "-quiet"})
+
+	// Route 3: HTTP job submission via run -remote against an in-process
+	// wbserve over the same store.
+	srv, err := server.New(server.Options{Stores: []*store.Store{st}, JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	runCmd([]string{"-spec", specFile, "-remote", ts.URL, "-label", "http", "-quiet"})
+
+	// All three landed under one spec hash; their reports render to the
+	// same bytes, JSON and CSV alike.
+	hash := store.SpecHash(spec)
+	render := func(label, format string) string {
+		t.Helper()
+		entry, err := st.GetEntry(hash, label)
+		if err != nil {
+			t.Fatalf("%s run not stored: %v", label, err)
+		}
+		loaded, err := st.LoadEntry(entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := loaded.Render(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, format := range []string{"json", "csv"} {
+		sdk, cli, http := render("sdk", format), render("cli", format), render("http", format)
+		if sdk != cli {
+			t.Errorf("%s: SDK and CLI reports differ", format)
+		}
+		if sdk != http {
+			t.Errorf("%s: SDK and HTTP-job reports differ", format)
+		}
+	}
+}
+
+// TestRunRemoteErrors pins the -remote error surface without exiting the
+// process: rejected submissions and failed jobs surface as errors.
+func TestRunRemoteErrors(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := server.New(server.Options{Stores: []*store.Store{st}, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(ro.Handler())
+	defer ts.Close()
+	spec := campaign.Spec{Protocols: []string{"build-forest"}, Graphs: []string{"path"},
+		Adversaries: []string{"min"}, Sizes: []int{4}}
+	if err := runRemote(ts.URL, spec, "", true, "", ""); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Errorf("read-only remote run: %v, want 403 error", err)
+	}
+	if err := runRemote("http://127.0.0.1:1", spec, "", true, "", ""); err == nil {
+		t.Error("unreachable remote did not error")
+	}
+}
+
+// TestRemoteDownloadsReport pins that -remote with -out/-csv fetches the
+// server-rendered report, byte-identical to a local run's rendering.
+func TestRemoteDownloadsReport(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Stores: []*store.Store{st}, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	spec := campaign.Spec{Name: "dl", Protocols: []string{"build-forest"},
+		Graphs: []string{"path"}, Adversaries: []string{"min"}, Sizes: []int{4, 5}}
+	outDir := t.TempDir()
+	outJSON := filepath.Join(outDir, "rep.json")
+	outCSV := filepath.Join(outDir, "rep.csv")
+	if err := runRemote(ts.URL, spec, "dl", true, outJSON, outCSV); err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(spec, campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, wantCSV bytes.Buffer
+	if err := want.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCSV, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON.Bytes()) {
+		t.Error("downloaded JSON differs from a local run's rendering")
+	}
+	if !bytes.Equal(gotCSV, wantCSV.Bytes()) {
+		t.Error("downloaded CSV differs from a local run's rendering")
+	}
+}
+
+// TestGCCmd walks the gc subcommand happy path end to end over a real
+// store directory.
+func TestGCCmd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := smokeReport(t)
+	for i := 0; i < 3; i++ {
+		if _, err := st.Save(rep, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gcCmd([]string{"-dir", dir, "-keep", "1", "-quiet"})
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Label != "run-003" {
+		t.Fatalf("after gc -keep 1: %+v, want only run-003", entries)
 	}
 }

@@ -1,18 +1,25 @@
 // wbserve serves one or more campaign result stores over HTTP — the
-// read side of `wbcampaign run -store`. Reports and diffs are immutable
-// and content-addressed, so every response carries a strong ETag, repeat
-// requests answer 304 Not Modified, and rendered diffs come from an
-// in-memory LRU instead of being recomputed.
+// read side of `wbcampaign run -store` and, since the v1 job API, a
+// write surface too: POST /api/v1/campaigns submits a campaign spec as
+// an asynchronous job executed in-process, with per-cell progress,
+// cancellation, and the finished report stored where every read route
+// serves it. Reports and diffs are immutable and content-addressed, so
+// every response carries a strong ETag, repeat requests answer 304 Not
+// Modified, and rendered diffs come from an in-memory LRU instead of
+// being recomputed.
 //
 //	wbserve -dir .wbstore                      # serve one store on :8080
 //	wbserve -dir .wbstore,.wbstore-exh -addr :9090
-//	wbserve -dir /srv/wbstore -readonly        # disable POST ingest
+//	wbserve -dir /srv/wbstore -readonly        # disable ingest + job submission
 //
-// Routes: GET /api/v1/reports (list, filterable), GET
-// /api/v1/reports/{hash}/{label} (JSON or CSV), GET /api/v1/diff
-// (text or JSON, cached), POST /api/v1/reports (ingest; see `wbcampaign
-// run -push`), GET /healthz, GET /metricsz. The process shuts down
-// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// Routes: GET /api/v1/reports (list, filterable, paginated), GET
+// /api/v1/reports/{hash}/{label} (JSON or CSV), GET /api/v1/diff (text
+// or JSON, cached), POST /api/v1/reports (ingest; see `wbcampaign run
+// -push`), POST/GET /api/v1/campaigns (+/{id}, /{id}/cancel — see
+// `wbcampaign run -remote`), GET /healthz, GET /metricsz. The process
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
+// and canceling in-flight campaign jobs (their status reads "canceled",
+// and no partial report touches the store).
 package main
 
 import (
@@ -34,11 +41,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
-		dirs     = flag.String("dir", ".wbstore", "comma-separated result store directories; the first receives ingested reports")
-		cache    = flag.Int("cache", server.DefaultCacheSize, "rendered-diff LRU capacity (entries)")
-		readonly = flag.Bool("readonly", false, "disable the POST ingest route")
-		quiet    = flag.Bool("quiet", false, "suppress per-error logging")
+		addr       = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		dirs       = flag.String("dir", ".wbstore", "comma-separated result store directories; the first receives ingested reports and job results")
+		cache      = flag.Int("cache", server.DefaultCacheSize, "rendered-diff LRU capacity (entries)")
+		readonly   = flag.Bool("readonly", false, "disable report ingest and campaign job submission")
+		jobWorkers = flag.Int("job-workers", 0, "campaign worker pool per submitted job; 0 = GOMAXPROCS")
+		quiet      = flag.Bool("quiet", false, "suppress per-error logging")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -65,10 +73,11 @@ func main() {
 		logf = nil
 	}
 	srv, err := server.New(server.Options{
-		Stores:    stores,
-		CacheSize: *cache,
-		ReadOnly:  *readonly,
-		Logf:      logf,
+		Stores:     stores,
+		CacheSize:  *cache,
+		ReadOnly:   *readonly,
+		JobWorkers: *jobWorkers,
+		Logf:       logf,
 	})
 	if err != nil {
 		fail(err)
@@ -102,6 +111,13 @@ func main() {
 	fmt.Fprintln(os.Stderr, "wbserve: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Drain campaign jobs first — cancellation reaches their sweeps
+	// immediately and each records a terminal "canceled" status — then let
+	// the HTTP server finish in-flight requests (including status polls
+	// observing those cancellations).
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wbserve:", err)
+	}
 	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}

@@ -18,9 +18,12 @@ go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
 	-store -dir "$DIR/store" -label demo-b -quiet
 
 echo "== serve the store =="
-# The server's own stderr goes to a log file so backgrounding it never
-# holds this script's output pipe open.
-go run ./cmd/wbserve -dir "$DIR/store" -addr "$ADDR" >"$DIR/serve.log" 2>&1 &
+# Build the real binary: backgrounding `go run` would background the
+# wrapper, and the EXIT trap would kill it while orphaning the server
+# itself on $ADDR. The server's own stderr goes to a log file so
+# backgrounding never holds this script's output pipe open.
+go build -o "$DIR/wbserve" ./cmd/wbserve
+"$DIR/wbserve" -dir "$DIR/store" -addr "$ADDR" >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 curl --retry 20 --retry-connrefused --retry-delay 1 -fsS "http://$ADDR/healthz"
 
@@ -47,5 +50,15 @@ go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
 	-push "http://$ADDR" -label demo-pushed -quiet
 curl -fsS "http://$ADDR/api/v1/reports?label=demo-pushed"
 
-echo "== request counters and cache hit rate =="
+echo "== a fourth run executed ON the server: the v1 job API =="
+go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
+	-remote "http://$ADDR" -label demo-job
+curl -fsS "http://$ADDR/api/v1/campaigns"
+curl -fsS "http://$ADDR/api/v1/reports?label=demo-job"
+
+echo "== listings paginate for stores beyond memory scale =="
+curl -fsSD "$DIR/hpage" "http://$ADDR/api/v1/reports?limit=2" >/dev/null
+grep -i '^link' "$DIR/hpage"
+
+echo "== request counters, cache hit rate and job counts =="
 curl -fsS "http://$ADDR/metricsz"

@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"math/big"
 	"math/rand"
 	"runtime"
@@ -23,7 +25,35 @@ type Options struct {
 	// OnProgress, if set, is called after every completed job with the
 	// number done so far and the total. Calls are serialized.
 	OnProgress func(done, total int)
+	// OnCell, if set, is called once per completed cell, in matrix order,
+	// from the goroutine driving the run. It fires for both Run and Stream,
+	// so a caller that drains Run can still render incremental progress.
+	OnCell func(CellResult)
 }
+
+// CellResult is one completed cell of a streaming sweep: the fully
+// aggregated cell plus its coordinates in the spec's matrix order.
+type CellResult struct {
+	// Index is the cell's position in matrix order (protocol → graph →
+	// size → adversary → model), 0-based; Total is the sweep's cell count.
+	Index int
+	Total int
+	// Jobs is the number of jobs (trials) aggregated into this cell.
+	Jobs int
+	// Cell carries the aggregated statistics, identical to the cell the
+	// whole-report Run would emit at this index.
+	Cell Cell
+}
+
+// Runner executes campaign sweeps. The zero value is ready to use; NewRunner
+// attaches Options. A Runner is stateless between sweeps and safe for
+// concurrent use — each Stream or Run call owns its worker pool.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opts Options) *Runner { return &Runner{opts: opts} }
 
 // jobResult is the per-run record a worker hands to the aggregator. It is
 // deliberately small: the worker copies these few ints out of the runner's
@@ -96,18 +126,66 @@ func (ss *schedStats) addWeighted(sum *int64, v, weight int) {
 	*sum += add
 }
 
-// Run expands the spec and executes every job on a sharded worker pool.
+// Run expands the spec and executes every job on a sharded worker pool,
+// returning the whole report at once. It is the non-streaming convenience
+// over Runner.Stream; see Runner.Run for the contract.
+func Run(spec Spec, opts Options) (*Report, error) {
+	return NewRunner(opts).Run(context.Background(), spec)
+}
+
+// Run executes the sweep to completion, draining the stream into a Report.
 // Workers pull job indices from a shared atomic counter and write results
 // into a slice indexed by job position, so aggregation — and therefore the
-// report — is identical for any worker count. Each worker owns one
-// engine.Runner and one RNG, reused across all its jobs.
-func Run(spec Spec, opts Options) (*Report, error) {
+// report — is identical for any worker count. Canceling ctx stops the
+// sweep between jobs and returns the cancellation cause; no partial report
+// is produced.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
+	return r.stream(ctx, spec, func(CellResult) bool { return true })
+}
+
+// Stream executes the sweep, yielding each cell as soon as it — and every
+// cell before it in matrix order — has completed, so consumers render
+// incrementally while later cells are still running. The sequence ends
+// with a non-nil error after a validation failure or a ctx cancellation;
+// a fully drained sweep yields every cell with a nil error. Breaking out
+// of the range stops the remaining workers before Stream returns. Cells
+// are identical, cell for cell, to the report Run produces.
+func (r *Runner) Stream(ctx context.Context, spec Spec) iter.Seq2[CellResult, error] {
+	return func(yield func(CellResult, error) bool) {
+		_, err := r.stream(ctx, spec, func(cr CellResult) bool {
+			return yield(cr, nil)
+		})
+		if err != nil {
+			yield(CellResult{}, err)
+		}
+	}
+}
+
+// stream is the execution core under Run and Stream. It yields completed
+// cells in matrix order and returns the assembled report when the sweep
+// ran to completion, nil with no error when the consumer stopped early,
+// and nil with the cause when validation or the context failed. Each
+// worker owns one engine.Runner and one RNG, reused across all its jobs;
+// workers re-check the context between jobs, so a cancellation never
+// interrupts a job mid-simulation but stops the sweep within one job per
+// worker.
+func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) bool) (*Report, error) {
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
 	jobs := spec.Expand()
-	workers := opts.Workers
+	numCells := spec.NumCells()
+	// Expand lays jobs out with trials innermost, so every cell is one
+	// contiguous job range; record the boundaries for per-cell aggregation.
+	cellEnd := make([]int, numCells)
+	for i, job := range jobs {
+		cellEnd[job.Cell] = i + 1
+	}
+	workers := r.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -117,6 +195,20 @@ func Run(spec Spec, opts Options) (*Report, error) {
 
 	start := time.Now()
 	results := make([]jobResult, len(jobs))
+	remaining := make([]atomic.Int64, numCells)
+	for c := 0; c < numCells; c++ {
+		startIdx := 0
+		if c > 0 {
+			startIdx = cellEnd[c-1]
+		}
+		remaining[c].Store(int64(cellEnd[c] - startIdx))
+	}
+	// completed buffers every cell index, so workers never block on the
+	// consumer: a slow reader cannot stall the pool.
+	completed := make(chan int, numCells)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	var next atomic.Int64
 	var progressMu sync.Mutex
 	done := 0
@@ -128,6 +220,9 @@ func Run(spec Spec, opts Options) (*Report, error) {
 			runner := engine.NewRunner()
 			rng := rand.New(rand.NewSource(1)) // reseeded per job
 			for {
+				if runCtx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= len(jobs) {
 					return
@@ -137,20 +232,65 @@ func Run(spec Spec, opts Options) (*Report, error) {
 				} else {
 					results[i] = runJob(runner, rng, spec, jobs[i])
 				}
-				if opts.OnProgress != nil {
+				if r.opts.OnProgress != nil {
 					// Increment under the same lock as the callback so the
 					// counts the callback sees are strictly monotonic.
 					progressMu.Lock()
 					done++
-					opts.OnProgress(done, len(jobs))
+					r.opts.OnProgress(done, len(jobs))
 					progressMu.Unlock()
+				}
+				if remaining[jobs[i].Cell].Add(-1) == 0 {
+					completed <- jobs[i].Cell
 				}
 			}
 		}()
 	}
+
+	cells := make([]Cell, 0, numCells)
+	ready := make([]bool, numCells)
+	emit := 0
+	for emit < numCells {
+		// Re-check between emissions, not only in the select: once the
+		// cancellation is observable, no further cell may be yielded even
+		// if workers raced ahead and every remaining cell is buffered.
+		if ctx.Err() != nil {
+			wg.Wait()
+			return nil, fmt.Errorf("campaign: canceled after %d of %d cells: %w",
+				emit, numCells, context.Cause(ctx))
+		}
+		select {
+		case c := <-completed:
+			ready[c] = true
+			for emit < numCells && ready[emit] {
+				startIdx := 0
+				if emit > 0 {
+					startIdx = cellEnd[emit-1]
+				}
+				cell := aggregateCell(spec, jobs[startIdx:cellEnd[emit]], results[startIdx:cellEnd[emit]])
+				cr := CellResult{Index: emit, Total: numCells, Jobs: cellEnd[emit] - startIdx, Cell: cell}
+				cells = append(cells, cell)
+				emit++
+				if r.opts.OnCell != nil {
+					r.opts.OnCell(cr)
+				}
+				if !yield(cr) {
+					cancel()
+					wg.Wait()
+					return nil, nil
+				}
+			}
+		case <-runCtx.Done():
+			wg.Wait()
+			// Cells that finished racing the cancellation stay unreported:
+			// a canceled sweep has no partial result, only an error.
+			return nil, fmt.Errorf("campaign: canceled after %d of %d cells: %w",
+				emit, numCells, context.Cause(ctx))
+		}
+	}
 	wg.Wait()
 
-	rep := aggregate(spec, jobs, results)
+	rep := assembleReport(spec, len(jobs), cells)
 	rep.Elapsed = time.Since(start)
 	rep.Workers = workers
 	return rep, nil
@@ -337,12 +477,13 @@ func (ss *schedStats) addSchedule(res *core.Result, weight int) {
 	}
 }
 
-// aggregate folds per-job results into per-cell statistics, walking jobs in
-// matrix order so the output is deterministic.
-func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
-	cells := make([]Cell, spec.NumCells())
+// aggregateCell folds the job results of one cell — a contiguous slice of
+// the expanded matrix — into its statistics, walking jobs in matrix order
+// so the output is deterministic and identical for any worker count.
+func aggregateCell(spec Spec, jobs []Job, results []jobResult) Cell {
+	var cell Cell
 	for i, job := range jobs {
-		c := &cells[job.Cell]
+		c := &cell
 		if c.Runs == 0 {
 			c.Protocol, c.Graph, c.Adversary = job.Protocol, job.Graph, job.Adversary
 			c.Model, c.N = job.Model, job.N
@@ -394,17 +535,23 @@ func aggregate(spec Spec, jobs []Job, results []jobResult) *Report {
 			c.MaxMessageBits = r.maxBits
 		}
 	}
-	rep := &Report{Spec: spec, Jobs: len(jobs), Cells: cells}
+	// An exhaustive cell whose budget died before the first terminal
+	// schedule has empty dists; zero them so the sentinel min (maxint)
+	// never reaches a report.
+	if cell.Rounds.n == 0 {
+		cell.Rounds = Dist{}
+	}
+	if cell.BoardBits.n == 0 {
+		cell.BoardBits = Dist{}
+	}
+	return cell
+}
+
+// assembleReport wraps streamed cells into the whole-campaign report,
+// summing totals. Cells must be in matrix order and complete.
+func assembleReport(spec Spec, jobs int, cells []Cell) *Report {
+	rep := &Report{Spec: spec, Jobs: jobs, Cells: cells}
 	for i := range cells {
-		// An exhaustive cell whose budget died before the first terminal
-		// schedule has empty dists; zero them so the sentinel min (maxint)
-		// never reaches a report.
-		if cells[i].Rounds.n == 0 {
-			cells[i].Rounds = Dist{}
-		}
-		if cells[i].BoardBits.n == 0 {
-			cells[i].BoardBits = Dist{}
-		}
 		rep.Totals.Runs += cells[i].Runs
 		rep.Totals.Success += cells[i].Success
 		rep.Totals.Deadlock += cells[i].Deadlock

@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// streamSpec is a small sampled sweep with six cells, one job each, so
+// per-cell streaming behavior is observable without long runtimes.
+func streamSpec() Spec {
+	return Spec{
+		Name:        "stream-test",
+		Protocols:   []string{"build-forest", "mis"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min"},
+		Sizes:       []int{4, 5, 6},
+	}
+}
+
+// TestStreamMatchesRun pins the tentpole equivalence: the cells yielded by
+// Stream, in order, are exactly the cells of the whole-report Run — so a
+// streaming consumer and a report consumer can never disagree.
+func TestStreamMatchesRun(t *testing.T) {
+	spec := streamSpec()
+	rep, err := Run(spec, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Cell
+	idx := 0
+	for cr, err := range NewRunner(Options{Workers: 3}).Stream(context.Background(), spec) {
+		if err != nil {
+			t.Fatalf("stream error at cell %d: %v", idx, err)
+		}
+		if cr.Index != idx {
+			t.Fatalf("cell %d yielded with Index %d: stream is out of order", idx, cr.Index)
+		}
+		if cr.Total != spec.Normalize().NumCells() {
+			t.Errorf("cell %d Total = %d, want %d", idx, cr.Total, spec.Normalize().NumCells())
+		}
+		if cr.Jobs != 1 {
+			t.Errorf("cell %d Jobs = %d, want 1", idx, cr.Jobs)
+		}
+		streamed = append(streamed, cr.Cell)
+		idx++
+	}
+	if !reflect.DeepEqual(streamed, rep.Cells) {
+		t.Errorf("streamed cells differ from Run's report cells\nstream: %+v\nreport: %+v", streamed, rep.Cells)
+	}
+}
+
+// TestRunContextEquivalence pins that Runner.Run with a background context
+// produces the same report as the package-level convenience.
+func TestRunContextEquivalence(t *testing.T) {
+	spec := streamSpec()
+	want, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewRunner(Options{Workers: 4}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) || got.Jobs != want.Jobs || got.Totals != want.Totals {
+		t.Error("Runner.Run and Run disagree on the same spec")
+	}
+}
+
+// TestStreamCancelStopsWithinOneJob pins the acceptance contract: a ctx
+// canceled mid-sweep stops the sweep without running further jobs — with
+// one worker, not a single job starts after the cancellation lands.
+func TestStreamCancelStopsWithinOneJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	opts := Options{
+		Workers: 1,
+		OnProgress: func(done, total int) {
+			executed.Store(int64(done))
+			if done == 2 {
+				cancel() // lands while job 2's completion is being reported
+			}
+		},
+	}
+	_, err := NewRunner(opts).Run(ctx, streamSpec())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got != 2 {
+		t.Errorf("%d jobs executed after canceling at job 2, want exactly 2", got)
+	}
+}
+
+// TestStreamEarlyBreak pins that breaking out of the range terminates the
+// sequence and joins the worker pool before Stream returns: the executed
+// job count is final the moment the range exits, and a fresh sweep on the
+// same Runner still works.
+func TestStreamEarlyBreak(t *testing.T) {
+	var executed atomic.Int64
+	opts := Options{
+		Workers:    1,
+		OnProgress: func(done, total int) { executed.Store(int64(done)) },
+	}
+	r := NewRunner(opts)
+	seen := 0
+	for cr, err := range r.Stream(context.Background(), streamSpec()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Index != 0 {
+			t.Fatalf("first yield has Index %d", cr.Index)
+		}
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("range continued after break: %d cells", seen)
+	}
+	// Workers are joined before Stream returns, so the count is final.
+	atBreak := executed.Load()
+	runtime.Gosched()
+	if now := executed.Load(); now != atBreak {
+		t.Errorf("worker pool still running after break: %d jobs grew to %d", atBreak, now)
+	}
+	if _, err := r.Run(context.Background(), streamSpec()); err != nil {
+		t.Errorf("Runner unusable after an early break: %v", err)
+	}
+}
+
+// TestStreamErrors pins the error surface: validation failures and
+// pre-canceled contexts end the stream with one terminal error pair.
+func TestStreamErrors(t *testing.T) {
+	var r Runner
+	yields := 0
+	for _, err := range r.Stream(context.Background(), Spec{}) {
+		yields++
+		if err == nil {
+			t.Fatal("invalid spec streamed a cell")
+		}
+	}
+	if yields != 1 {
+		t.Fatalf("invalid spec yielded %d pairs, want 1 terminal error", yields)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Run(ctx, streamSpec())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: err = %v", err)
+	}
+}
+
+// TestOnCellHook pins that the OnCell hook fires in matrix order for the
+// draining Run as well, so progress displays need no Stream plumbing.
+func TestOnCellHook(t *testing.T) {
+	var order []int
+	opts := Options{Workers: 4, OnCell: func(cr CellResult) { order = append(order, cr.Index) }}
+	rep, err := NewRunner(opts).Run(context.Background(), streamSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(rep.Cells) {
+		t.Fatalf("OnCell fired %d times for %d cells", len(order), len(rep.Cells))
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("OnCell order %v is not matrix order", order)
+		}
+	}
+}

@@ -47,6 +47,9 @@ var (
 	// ErrBadLabel reports a label that cannot name a stored run — caller
 	// input to reject, not a store fault.
 	ErrBadLabel = errors.New("invalid label")
+	// ErrLabeledRuns reports a GC pass refused because it would remove
+	// explicitly labeled runs; force overrides.
+	ErrLabeledRuns = errors.New("would remove labeled runs")
 )
 
 // Entry identifies one stored run.
@@ -123,6 +126,12 @@ func SpecHash(spec campaign.Spec) string {
 	return hex.EncodeToString(sum[:])[:12]
 }
 
+// CheckLabel reports whether a caller-chosen label could name a stored
+// run; failures wrap ErrBadLabel. Exposed so frontends (the HTTP job API)
+// can reject a bad label at submission time instead of after a sweep has
+// already run to completion.
+func CheckLabel(label string) error { return validLabel(label) }
+
 // validLabel guards the label's use as a file name; failures wrap
 // ErrBadLabel.
 func validLabel(label string) error {
@@ -139,6 +148,13 @@ func validLabel(label string) error {
 	}
 	if strings.HasPrefix(label, ".") {
 		return fmt.Errorf("resultstore: %w: %q must not start with a dot", ErrBadLabel, label)
+	}
+	if AutoLabel(label) {
+		// The run-NNN namespace is reserved for store-assigned labels: a
+		// caller-chosen "run-100" would read as auto-assigned to GC and
+		// lose its pin protection, so it can never be saved in the first
+		// place.
+		return fmt.Errorf("resultstore: %w: %q is reserved for auto-assigned labels (leave the label empty instead)", ErrBadLabel, label)
 	}
 	return nil
 }
@@ -533,6 +549,84 @@ func (s *Store) Stat() (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// GCResult describes what a garbage-collection pass removed and kept.
+type GCResult struct {
+	// Removed lists the pruned runs, oldest first.
+	Removed []Entry
+	// Kept counts the runs still stored after the pass.
+	Kept int
+}
+
+// AutoLabel reports whether label is a store-assigned sequence label
+// ("run-001") rather than one the caller chose. GC treats caller-chosen
+// labels as pinned.
+func AutoLabel(label string) bool {
+	rest, ok := strings.CutPrefix(label, "run-")
+	if !ok || len(rest) < 3 {
+		return false
+	}
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// GC prunes all but the newest keep runs of every spec group, newest by
+// save sequence. Runs under a caller-chosen label ("v1.2-3-gabc123")
+// are pinned: if any would be removed, GC refuses the whole pass with
+// ErrLabeledRuns — naming them — unless force is set. Auto-labeled runs
+// ("run-NNN") are always fair game. Files already gone when removal
+// reaches them (a racing GC) are skipped, not failed.
+func (s *Store) GC(keep int, force bool) (GCResult, error) {
+	if keep < 1 {
+		return GCResult{}, fmt.Errorf("resultstore: gc keep must be ≥ 1, got %d", keep)
+	}
+	entries, err := s.List()
+	if err != nil {
+		return GCResult{}, err
+	}
+	perSpec := map[string]int{}
+	for _, e := range entries {
+		perSpec[e.SpecHash]++
+	}
+	// entries is oldest-first, so the first (count-keep) of each group are
+	// the removal candidates; walking in List order keeps Removed sorted.
+	var victims []Entry
+	var pinned []string
+	seen := map[string]int{}
+	for _, e := range entries {
+		seen[e.SpecHash]++
+		if seen[e.SpecHash] > perSpec[e.SpecHash]-keep {
+			continue // within the newest keep of its group
+		}
+		if !AutoLabel(e.Label) {
+			pinned = append(pinned, e.Ref())
+		}
+		victims = append(victims, e)
+	}
+	if len(pinned) > 0 && !force {
+		return GCResult{}, fmt.Errorf("resultstore: %w: %s (re-run with force to remove)",
+			ErrLabeledRuns, strings.Join(pinned, ", "))
+	}
+	res := GCResult{Kept: len(entries) - len(victims)}
+	for _, e := range victims {
+		path := filepath.Join(s.dir, e.SpecHash, e.Label+".json")
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				continue // a racing GC got there first
+			}
+			return res, fmt.Errorf("resultstore: %w", err)
+		}
+		res.Removed = append(res.Removed, e)
+		// Drop the group directory once empty; a non-empty directory (a
+		// racing save, an orphaned temp file) just stays.
+		os.Remove(filepath.Join(s.dir, e.SpecHash))
+	}
+	return res, nil
 }
 
 // LatestPair returns the two newest runs that share the spec hash of the

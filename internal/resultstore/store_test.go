@@ -98,9 +98,11 @@ func TestSaveRefusesDuplicateLabelAndBadLabels(t *testing.T) {
 		t.Errorf("duplicate label: got %v", err)
 	}
 	// "" is not here: an empty label is valid input and auto-assigns run-NNN.
-	for _, bad := range []string{"a/b", "..", ".hidden", "sp ace"} {
-		if _, err := st.Save(rep, bad); err == nil {
-			t.Errorf("label %q accepted", bad)
+	// run-NNN-shaped caller labels are rejected: they would masquerade as
+	// auto-assigned and lose GC's pin protection.
+	for _, bad := range []string{"a/b", "..", ".hidden", "sp ace", "run-100", "run-0001"} {
+		if _, err := st.Save(rep, bad); err == nil || !errors.Is(err, ErrBadLabel) {
+			t.Errorf("label %q: got %v, want ErrBadLabel", bad, err)
 		}
 	}
 }
@@ -418,5 +420,115 @@ func TestStoredRunsDiffClean(t *testing.T) {
 	}
 	if d := DiffReports(oldRep, newRep); !d.Empty() {
 		t.Errorf("re-running the same spec produced deltas: %+v", d.Deltas)
+	}
+}
+
+// TestGC pins the store-hygiene contract: all but the newest keep runs of
+// every spec group are pruned, caller-labeled runs pin the pass without
+// force, and force removes them too.
+func TestGC(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	for i := 0; i < 4; i++ {
+		if _, err := st.Save(rep, ""); err != nil { // run-001..run-004
+			t.Fatal(err)
+		}
+	}
+	// A second spec group with a single run must be untouched by GC.
+	other := runSmoke(t)
+	other.Spec.Sizes = []int{4}
+	if _, err := st.Save(other, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.GC(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 2 || res.Kept != 3 {
+		t.Fatalf("GC removed %d kept %d, want 2 removed 3 kept", len(res.Removed), res.Kept)
+	}
+	for i, want := range []string{"run-001", "run-002"} {
+		if res.Removed[i].Label != want {
+			t.Errorf("Removed[%d] = %s, want %s (oldest first)", i, res.Removed[i].Label, want)
+		}
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d entries after GC, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if e.Label == "run-001" || e.Label == "run-002" {
+			t.Errorf("pruned run %s still listed", e.Ref())
+		}
+	}
+
+	// Idempotent: nothing above the watermark, nothing removed.
+	res, err = st.GC(2, false)
+	if err != nil || len(res.Removed) != 0 {
+		t.Fatalf("second GC removed %d, err %v", len(res.Removed), err)
+	}
+
+	// A labeled run below the watermark blocks the pass...
+	if _, err := st.Save(rep, "pinned-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, gcErr := st.GC(2, false)
+	if !errors.Is(gcErr, ErrLabeledRuns) {
+		t.Fatalf("GC over a pinned run: err = %v, want ErrLabeledRuns", gcErr)
+	}
+	if !strings.Contains(gcErr.Error(), "pinned-v1") {
+		t.Errorf("refusal does not name the pinned run: %v", gcErr)
+	}
+	// ...and nothing was removed by the refused pass.
+	entries, _ = st.List()
+	if len(entries) != 6 {
+		t.Fatalf("refused GC mutated the store: %d entries, want 6", len(entries))
+	}
+
+	// force prunes labeled runs too.
+	res, err = st.GC(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := map[string]bool{}
+	for _, e := range res.Removed {
+		removed[e.Label] = true
+	}
+	if !removed["pinned-v1"] {
+		t.Errorf("force GC spared the pinned run; removed %v", res.Removed)
+	}
+	entries, _ = st.List()
+	if len(entries) != 2 { // one per spec group
+		t.Errorf("%d entries after force GC -keep 1, want 2", len(entries))
+	}
+
+	if _, err := st.GC(0, false); err == nil {
+		t.Error("GC keep=0 accepted; it would empty the store")
+	}
+}
+
+// TestAutoLabel pins the pinned-vs-auto label classification GC rests on.
+func TestAutoLabel(t *testing.T) {
+	for label, want := range map[string]bool{
+		"run-001": true, "run-1234": true,
+		"run-01": false, "run-": false, "run-abc": false,
+		"v1.2-3-gabc123": false, "pinned": false, "run-001x": false,
+	} {
+		if got := AutoLabel(label); got != want {
+			t.Errorf("AutoLabel(%q) = %v, want %v", label, got, want)
+		}
 	}
 }

@@ -8,16 +8,28 @@
 // without touching a report body, and rendered diffs are kept in an
 // in-memory LRU so repeated comparisons never recompute.
 //
+// The service also *accepts* work: POST /api/v1/campaigns submits a
+// campaign spec as an asynchronous job, executed in-process on the
+// streaming campaign runner, with per-cell progress, cancellation, and
+// the completed report landing in the primary store — where the existing
+// report/diff/ETag routes serve it unchanged.
+//
 // Routes (all responses are JSON unless negotiated otherwise):
 //
 //	GET  /api/v1/reports                    list stored runs; filters:
 //	                                        ?spec= ?label= ?protocol= ?graph= ?mode=
+//	                                        pagination: ?limit= ?offset= (RFC 5988 Link)
 //	GET  /api/v1/reports/{hash}/{label}     one report; ?format=json|csv or Accept: text/csv
 //	GET  /api/v1/diff?old=REF&new=REF       pairwise diff; ?format=text|json or
 //	                                        Accept: application/json; no refs = latest pair
 //	POST /api/v1/reports?label=L            ingest a report into the primary store
+//	POST /api/v1/campaigns?label=L          submit a campaign spec; 202 + job id
+//	GET  /api/v1/campaigns                  list jobs; ?state= filter
+//	GET  /api/v1/campaigns/{id}             job status: cells done/total, ref when done
+//	POST /api/v1/campaigns/{id}/cancel      cancel a running job
 //	GET  /healthz                           liveness (cheap, no store scan)
-//	GET  /metricsz                          request counts, cache hit rate, store sizes
+//	GET  /metricsz                          request counts, cache hit rate, store
+//	                                        sizes, job counts
 //
 // Reads are safe against stores being written concurrently by
 // `wbcampaign run -store`: listings are mutation-tolerant snapshots
@@ -26,10 +38,12 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
@@ -46,8 +60,12 @@ type Options struct {
 	Stores []*resultstore.Store
 	// CacheSize is the rendered-diff LRU capacity; 0 means DefaultCacheSize.
 	CacheSize int
-	// ReadOnly disables the ingest route (403 on POST).
+	// ReadOnly disables the write routes: report ingest and campaign job
+	// submission both answer 403.
 	ReadOnly bool
+	// JobWorkers is the campaign worker-pool size for each submitted job;
+	// 0 means GOMAXPROCS. Reports are byte-identical at any value.
+	JobWorkers int
 	// Logf, when non-nil, receives one line per request error.
 	Logf func(format string, args ...any)
 }
@@ -58,6 +76,7 @@ type Server struct {
 	stores   []*resultstore.Store
 	cache    *lru
 	metrics  *metrics
+	jobs     *jobManager
 	readOnly bool
 	logf     func(format string, args ...any)
 	handler  http.Handler
@@ -80,6 +99,7 @@ func New(opts Options) (*Server, error) {
 		stores:   opts.Stores,
 		cache:    newLRU(size),
 		metrics:  newMetrics(),
+		jobs:     newJobManager(opts.Stores[0], opts.JobWorkers),
 		readOnly: opts.ReadOnly,
 		logf:     logf,
 	}
@@ -88,6 +108,10 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /api/v1/reports", s.handleIngest)
 	mux.HandleFunc("GET /api/v1/reports/{hash}/{label}", s.handleReport)
 	mux.HandleFunc("GET /api/v1/diff", s.handleDiff)
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleJobSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleJobList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleJobStatus)
+	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	// Method-less fallbacks: the catch-all "/" below would otherwise
@@ -95,6 +119,9 @@ func New(opts Options) (*Server, error) {
 	mux.Handle("/api/v1/reports", s.methodNotAllowed("GET, POST"))
 	mux.Handle("/api/v1/reports/{hash}/{label}", s.methodNotAllowed("GET"))
 	mux.Handle("/api/v1/diff", s.methodNotAllowed("GET"))
+	mux.Handle("/api/v1/campaigns", s.methodNotAllowed("GET, POST"))
+	mux.Handle("/api/v1/campaigns/{id}", s.methodNotAllowed("GET"))
+	mux.Handle("/api/v1/campaigns/{id}/cancel", s.methodNotAllowed("POST"))
 	mux.Handle("/healthz", s.methodNotAllowed("GET"))
 	mux.Handle("/metricsz", s.methodNotAllowed("GET"))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -106,6 +133,15 @@ func New(opts Options) (*Server, error) {
 
 // Handler returns the service's root handler, ready for an http.Server.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown drains the server's asynchronous work: every in-flight
+// campaign job is canceled and waited for — bounded by ctx — so each
+// records a terminal "canceled" status instead of being lost with the
+// process. Call it alongside http.Server.Shutdown; HTTP request draining
+// stays the http.Server's business.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.shutdown(ctx)
+}
 
 // methodNotAllowed answers 405 with an Allow header for a route whose
 // path exists but whose method patterns did not match.
@@ -220,6 +256,32 @@ func (s *Server) list() ([]located, error) {
 	return out, nil
 }
 
+// pageParams parses the ?limit=/?offset= pagination pair. limit 0 (or
+// absent) means unpaginated; both must be non-negative integers.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q (want a non-negative integer)", v)
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q (want a non-negative integer)", v)
+		}
+	}
+	return limit, offset, nil
+}
+
+// pageLink renders one RFC 5988 Link member for the current request with
+// a shifted offset, preserving every filter parameter.
+func pageLink(r *http.Request, limit, offset int, rel string) string {
+	q := r.URL.Query()
+	q.Set("limit", strconv.Itoa(limit))
+	q.Set("offset", strconv.Itoa(offset))
+	return "<" + r.URL.Path + "?" + q.Encode() + `>; rel="` + rel + `"`
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	specPrefix := q.Get("spec")
@@ -227,6 +289,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	mode := q.Get("mode")
 	protocol := q.Get("protocol")
 	graph := q.Get("graph")
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	all, err := s.list()
 	if err != nil {
@@ -261,7 +328,38 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		items = append(items, listItem{Entry: e, RefStr: e.Ref()})
 	}
-	s.writeJSON(w, map[string]any{"count": len(items), "reports": items})
+	total := len(items)
+	body := map[string]any{"total": total}
+	if limit > 0 {
+		// Slice the filtered window and emit RFC 5988 Link headers so
+		// clients walk stores beyond memory scale without recomputing
+		// offsets themselves.
+		if offset > total {
+			offset = total
+		}
+		end := offset + limit
+		if end > total {
+			end = total
+		}
+		items = items[offset:end]
+		var links []string
+		if end < total {
+			links = append(links, pageLink(r, limit, end, "next"))
+		}
+		if offset > 0 {
+			prev := offset - limit
+			if prev < 0 {
+				prev = 0
+			}
+			links = append(links, pageLink(r, limit, prev, "prev"))
+		}
+		if len(links) > 0 {
+			w.Header().Set("Link", strings.Join(links, ", "))
+		}
+		body["limit"], body["offset"] = limit, offset
+	}
+	body["count"], body["reports"] = len(items), items
+	s.writeJSON(w, body)
 }
 
 func contains(list []string, want string) bool {
@@ -537,5 +635,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"hit_rate": rate,
 		},
 		"stores": stores,
+		"jobs":   s.jobs.metrics(),
 	})
 }

@@ -1,0 +1,73 @@
+// Package registry is the public SDK over the named component catalog:
+// every protocol, graph family and adversary the campaign subsystem can
+// sweep, resolvable by name (with colon-arguments such as "stubborn:1"
+// or "gnp"), each with an argument schema, documentation and
+// did-you-mean errors on typos. It is the stable facade over
+// repro/internal/registry; constructed components use the root
+// whiteboard package's types, so registry output feeds whiteboard.Run
+// and campaign specs alike.
+package registry
+
+import (
+	"math/rand"
+
+	whiteboard "repro"
+	internal "repro/internal/registry"
+)
+
+// Params carries the construction parameters shared by all component
+// kinds: node count, the k/p sweep knobs and the seed.
+type Params = internal.Params
+
+// ProtocolEntry documents one registered protocol.
+type ProtocolEntry = internal.ProtocolEntry
+
+// GraphEntry documents one registered graph family.
+type GraphEntry = internal.GraphEntry
+
+// AdversaryEntry documents one registered adversary.
+type AdversaryEntry = internal.AdversaryEntry
+
+// NewProtocol resolves a protocol name (optionally with a colon-argument,
+// e.g. "lemma4:mis") and constructs it.
+func NewProtocol(spec string, p Params) (whiteboard.Protocol, error) {
+	return internal.NewProtocol(spec, p)
+}
+
+// NewGraph resolves a graph family name and constructs one instance;
+// random families draw from rng.
+func NewGraph(spec string, p Params, rng *rand.Rand) (*whiteboard.Graph, error) {
+	return internal.NewGraph(spec, p, rng)
+}
+
+// NewAdversary resolves an adversary name (optionally with colon-
+// arguments, e.g. "scripted:3,1,2") and constructs it.
+func NewAdversary(spec string, p Params) (whiteboard.Adversary, error) {
+	return internal.NewAdversary(spec, p)
+}
+
+// ParseModel parses a model-override name: "native" (or "") keeps the
+// protocol's declared model and returns nil; otherwise one of SIMASYNC,
+// SIMSYNC, ASYNC, SYNC.
+func ParseModel(s string) (*whiteboard.Model, error) { return internal.ParseModel(s) }
+
+// Protocols lists every registered protocol name, sorted.
+func Protocols() []string { return internal.Protocols() }
+
+// Graphs lists every registered graph family name, sorted.
+func Graphs() []string { return internal.Graphs() }
+
+// Adversaries lists every registered adversary name, sorted.
+func Adversaries() []string { return internal.Adversaries() }
+
+// ProtocolDoc returns the documentation entry of one protocol.
+func ProtocolDoc(name string) (ProtocolEntry, bool) { return internal.ProtocolDoc(name) }
+
+// GraphDoc returns the documentation entry of one graph family.
+func GraphDoc(name string) (GraphEntry, bool) { return internal.GraphDoc(name) }
+
+// AdversaryDoc returns the documentation entry of one adversary.
+func AdversaryDoc(name string) (AdversaryEntry, bool) { return internal.AdversaryDoc(name) }
+
+// FlagHelp joins component names for CLI flag usage strings.
+func FlagHelp(names []string) string { return internal.FlagHelp(names) }
