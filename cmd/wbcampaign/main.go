@@ -35,6 +35,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -48,6 +49,7 @@ import (
 	"time"
 
 	"repro/campaign"
+	"repro/internal/telemetry"
 	"repro/registry"
 	"repro/store"
 )
@@ -95,7 +97,7 @@ func usage(w *os.File) {
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
            [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
            [-push URL] [-remote URL] [-label L] [-workers N] [-out FILE]
-           [-csv FILE] [-quiet]
+           [-csv FILE] [-trace FILE] [-log-level L] [-log-format F] [-quiet]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
 gc flags:   -keep N [-dir DIR] [-force] [-quiet]
@@ -127,6 +129,9 @@ func runCmd(args []string) {
 		remote     = fs.String("remote", "", "execute the campaign ON a wbserve base URL: submit the spec as a job, poll to completion")
 		label      = fs.String("label", "", "store label, e.g. from git describe; empty = auto run-NNN")
 		quiet      = fs.Bool("quiet", false, "suppress the live progress line and summary")
+		traceOut   = fs.String("trace", "", "write the run's span tree (job → shard → cell → engine) to this JSON file; with -remote it is fetched from the server's trace endpoint")
+		logLevel   = fs.String("log-level", "warn", "structured log level: debug|info|warn|error (info logs a run summary, debug logs per cell)")
+		logFormat  = fs.String("log-format", "text", "structured log format: text|json")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -211,8 +216,13 @@ func runCmd(args []string) {
 		}
 	}
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fail(err)
+	}
+
 	if *remote != "" {
-		if err := runRemote(*remote, spec, *label, *quiet, *out, *csvPath); err != nil {
+		if err := runRemote(*remote, spec, *label, *quiet, *out, *csvPath, *traceOut); err != nil {
 			fail(err)
 		}
 		return
@@ -229,9 +239,34 @@ func runCmd(args []string) {
 			}
 		}
 	}
-	rep, err := campaign.Run(spec, opts)
+	opts.OnCell = func(cr campaign.CellResult) {
+		logger.Debug("cell done", "index", cr.Index, "total", cr.Total,
+			"protocol", cr.Cell.Protocol, "graph", cr.Cell.Graph, "n", cr.Cell.N)
+	}
+	// A local -trace runs the sweep under an in-process tracer and dumps
+	// the same span-tree document the server's trace route serves.
+	ctx := context.Background()
+	var tracer *telemetry.Tracer
+	const localTraceID = "local"
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+		ctx = telemetry.WithTrace(ctx, tracer, localTraceID)
+	}
+	ctx, root := telemetry.StartSpan(ctx, "job")
+	runStart := time.Now()
+	rep, err := campaign.RunContext(ctx, spec, opts)
+	root.End()
 	if err != nil {
 		fail(err)
+	}
+	logger.Info("campaign complete", "jobs", rep.Jobs, "cells", len(rep.Cells),
+		"success", rep.Totals.Success, "deadlock", rep.Totals.Deadlock,
+		"failed", rep.Totals.Failed, "elapsed", time.Since(runStart).Round(time.Millisecond).String())
+	if *traceOut != "" {
+		spans, dropped := tracer.Trace(localTraceID)
+		if err := writeTrace(*traceOut, localTraceID, dropped, spans); err != nil {
+			fail(err)
+		}
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, rep.Summary())
@@ -443,7 +478,7 @@ type remoteJob struct {
 // API: submit the spec, poll the job's cells-done progress until it
 // reaches a terminal state, and optionally download the stored report —
 // byte-identical to a local run — into -out/-csv.
-func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath string) error {
+func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath, tracePath string) error {
 	base := strings.TrimSuffix(baseURL, "/")
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -513,7 +548,29 @@ func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out
 			return err
 		}
 	}
+	if tracePath != "" {
+		// The server traced the job while it ran; its trace route serves the
+		// same document a local -trace writes.
+		if err := fetchRendered(client, base+"/api/v1/trace/"+job.ID, tracePath); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "trace of %s written to %s\n", job.ID, tracePath)
+		}
+	}
 	return nil
+}
+
+// writeTrace dumps a local run's span tree in the same shape the server's
+// trace route serves, so downstream tooling reads both alike.
+func writeTrace(path, traceID string, dropped int64, spans []telemetry.SpanRecord) error {
+	data, err := json.MarshalIndent(map[string]any{
+		"trace": traceID, "dropped": dropped, "spans": spans,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // fetchRendered downloads one rendered report representation to a file.

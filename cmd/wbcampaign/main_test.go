@@ -240,10 +240,10 @@ func TestRunRemoteErrors(t *testing.T) {
 	defer ts.Close()
 	spec := campaign.Spec{Protocols: []string{"build-forest"}, Graphs: []string{"path"},
 		Adversaries: []string{"min"}, Sizes: []int{4}}
-	if err := runRemote(ts.URL, spec, "", true, "", ""); err == nil || !strings.Contains(err.Error(), "403") {
+	if err := runRemote(ts.URL, spec, "", true, "", "", ""); err == nil || !strings.Contains(err.Error(), "403") {
 		t.Errorf("read-only remote run: %v, want 403 error", err)
 	}
-	if err := runRemote("http://127.0.0.1:1", spec, "", true, "", ""); err == nil {
+	if err := runRemote("http://127.0.0.1:1", spec, "", true, "", "", ""); err == nil {
 		t.Error("unreachable remote did not error")
 	}
 }
@@ -266,7 +266,7 @@ func TestRemoteDownloadsReport(t *testing.T) {
 	outDir := t.TempDir()
 	outJSON := filepath.Join(outDir, "rep.json")
 	outCSV := filepath.Join(outDir, "rep.csv")
-	if err := runRemote(ts.URL, spec, "dl", true, outJSON, outCSV); err != nil {
+	if err := runRemote(ts.URL, spec, "dl", true, outJSON, outCSV, ""); err != nil {
 		t.Fatal(err)
 	}
 	want, err := campaign.Run(spec, campaign.Options{Workers: 1})

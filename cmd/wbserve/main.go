@@ -16,10 +16,15 @@
 // /api/v1/reports/{hash}/{label} (JSON or CSV), GET /api/v1/diff (text
 // or JSON, cached), POST /api/v1/reports (ingest; see `wbcampaign run
 // -push`), POST/GET /api/v1/campaigns (+/{id}, /{id}/cancel — see
-// `wbcampaign run -remote`), GET /healthz, GET /metricsz. The process
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
-// and canceling in-flight campaign jobs (their status reads "canceled",
-// and no partial report touches the store).
+// `wbcampaign run -remote`), GET /api/v1/trace/{id} (span tree of a
+// job), GET /healthz, GET /metricsz (JSON), GET /metrics (Prometheus
+// text). Structured request and job logs go to stderr (-log-level,
+// -log-format), and -debug-addr serves net/http/pprof on a separate
+// listener. The process shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests and canceling in-flight campaign jobs
+// (their status reads "canceled", and no partial report touches the
+// store), then logs one structured summary line with the lifetime job
+// counts and the drain duration.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +43,7 @@ import (
 
 	"repro/internal/resultstore"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,11 +54,18 @@ func main() {
 		readonly   = flag.Bool("readonly", false, "disable report ingest and campaign job submission")
 		jobWorkers = flag.Int("job-workers", 0, "campaign worker pool per submitted job; 0 = GOMAXPROCS")
 		quiet      = flag.Bool("quiet", false, "suppress per-error logging")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "structured log format: text|json")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables it")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "wbserve: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fail(err)
 	}
 
 	var stores []*resultstore.Store
@@ -78,9 +92,32 @@ func main() {
 		ReadOnly:   *readonly,
 		JobWorkers: *jobWorkers,
 		Logf:       logf,
+		Logger:     logger,
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	// The profiler gets its own mux on its own listener: pprof must never
+	// ride the public handler, where it would be one reverse-proxy
+	// misconfiguration away from the internet.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	// Listen before announcing, so -addr :0 can print the real port and a
@@ -109,6 +146,7 @@ func main() {
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 	fmt.Fprintln(os.Stderr, "wbserve: shutting down")
+	drainStart := time.Now()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Drain campaign jobs first — cancellation reaches their sweeps
@@ -121,6 +159,11 @@ func main() {
 	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+	submitted, done, failed, canceled := srv.Telemetry().Jobs.Counts()
+	logger.Info("shutdown complete",
+		"jobs_submitted", submitted, "jobs_done", done,
+		"jobs_failed", failed, "jobs_canceled", canceled,
+		"drain_ms", float64(time.Since(drainStart).Microseconds())/1000)
 }
 
 func fail(err error) {

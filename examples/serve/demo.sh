@@ -60,5 +60,21 @@ echo "== listings paginate for stores beyond memory scale =="
 curl -fsSD "$DIR/hpage" "http://$ADDR/api/v1/reports?limit=2" >/dev/null
 grep -i '^link' "$DIR/hpage"
 
+echo "== a traced exhaustive job: fetch its span tree with -trace =="
+go run ./cmd/wbcampaign run -spec examples/campaigns/exhaustive.json \
+	-remote "http://$ADDR" -label demo-traced -trace "$DIR/trace.json" -quiet
+if command -v jq >/dev/null 2>&1; then
+	echo "-- top 3 slowest cells, with memo hit rates --"
+	jq -r '[.spans[] | select(.name == "cell")]
+		| sort_by(-.attrs.wall) | .[:3][]
+		| "\(.attrs.protocol)/\(.attrs.graph) n=\(.attrs.n): \(.attrs.wall)s, memo hit rate \(.attrs.memo_hit_rate)"' \
+		"$DIR/trace.json"
+else
+	echo "(jq not installed; raw span dump in $DIR/trace.json skipped)"
+fi
+
 echo "== request counters, cache hit rate and job counts =="
 curl -fsS "http://$ADDR/metricsz"
+
+echo "== the same registry, in Prometheus text form =="
+curl -fsS "http://$ADDR/metrics" | grep -E '^wb_(jobs|campaign)' | head -12

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Options tunes campaign execution. The zero value runs with GOMAXPROCS
@@ -29,6 +30,10 @@ type Options struct {
 	// from the goroutine driving the run. It fires for both Run and Stream,
 	// so a caller that drains Run can still render incremental progress.
 	OnCell func(CellResult)
+	// Metrics, when non-nil, receives worker occupancy, per-job counts, a
+	// per-cell wall-time histogram, and (through its engine group) the
+	// engine's run/exploration totals. telemetry.Nop disables all of it.
+	Metrics *telemetry.CampaignMetrics
 }
 
 // CellResult is one completed cell of a streaming sweep: the fully
@@ -65,6 +70,11 @@ type jobResult struct {
 	maxBits   int
 	err       string
 	sched     *schedStats // exhaustive jobs only
+
+	// start/dur time the job on its worker; cell spans and the cell
+	// wall-time histogram are assembled from them after the fact.
+	start time.Time
+	dur   time.Duration
 }
 
 // schedStats aggregates every terminal schedule of one exhaustive job
@@ -215,8 +225,17 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker is one "shard" span; the engine spans of its
+			// exhaustive jobs nest under it.
+			wctx, shard := telemetry.StartSpan(runCtx, "shard")
+			shard.SetAttr("worker", w)
+			defer shard.End()
+			ran := 0
+			defer func() { shard.SetAttr("jobs", ran) }()
+			m := r.opts.Metrics
+			em := m.EngineMetrics()
 			runner := engine.NewRunner()
 			rng := rand.New(rand.NewSource(1)) // reseeded per job
 			for {
@@ -227,11 +246,18 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 				if i >= len(jobs) {
 					return
 				}
+				m.WorkerBusy(1)
+				jobStart := time.Now()
 				if spec.Exhaustive() {
-					results[i] = runExhaustiveJob(rng, spec, jobs[i])
+					results[i] = runExhaustiveJob(wctx, rng, spec, jobs[i], em)
 				} else {
-					results[i] = runJob(runner, rng, spec, jobs[i])
+					results[i] = runJob(runner, rng, spec, jobs[i], em)
 				}
+				results[i].start = jobStart
+				results[i].dur = time.Since(jobStart)
+				m.WorkerBusy(-1)
+				m.JobDone()
+				ran++
 				if r.opts.OnProgress != nil {
 					// Increment under the same lock as the callback so the
 					// counts the callback sees are strictly monotonic.
@@ -244,7 +270,7 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 					completed <- jobs[i].Cell
 				}
 			}
-		}()
+		}(w)
 	}
 
 	cells := make([]Cell, 0, numCells)
@@ -269,6 +295,7 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 				}
 				cell := aggregateCell(spec, jobs[startIdx:cellEnd[emit]], results[startIdx:cellEnd[emit]])
 				cr := CellResult{Index: emit, Total: numCells, Jobs: cellEnd[emit] - startIdx, Cell: cell}
+				recordCell(ctx, r.opts.Metrics, emit, cell, results[startIdx:cellEnd[emit]])
 				cells = append(cells, cell)
 				emit++
 				if r.opts.OnCell != nil {
@@ -296,11 +323,54 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 	return rep, nil
 }
 
+// recordCell emits one completed cell into the wall-time histogram and, if
+// ctx carries a trace, a retroactive "cell" span. The cell's jobs ran spread
+// over the pool, so its wall interval is min job start → max job end; the
+// span is assembled after the fact rather than measured live. memo_hit_rate
+// is the fraction of naive writes the configuration DAG collapsed away:
+// stepsSaved / (steps + stepsSaved).
+func recordCell(ctx context.Context, m *telemetry.CampaignMetrics, index int, cell Cell, results []jobResult) {
+	start, end := time.Time{}, time.Time{}
+	for i := range results {
+		if results[i].start.IsZero() {
+			continue
+		}
+		if start.IsZero() || results[i].start.Before(start) {
+			start = results[i].start
+		}
+		if e := results[i].start.Add(results[i].dur); e.After(end) {
+			end = e
+		}
+	}
+	if start.IsZero() {
+		return
+	}
+	wall := end.Sub(start).Seconds()
+	m.CellDone(wall)
+	attrs := map[string]any{
+		"index":    index,
+		"protocol": cell.Protocol,
+		"graph":    cell.Graph,
+		"n":        cell.N,
+		"jobs":     len(results),
+		"wall":     wall,
+	}
+	if e := cell.Exhaustive; e != nil {
+		attrs["schedules"] = e.Schedules
+		attrs["steps"] = e.Steps
+		attrs["classes"] = e.Classes
+		if total := e.Steps + e.StepsSaved; total > 0 {
+			attrs["memo_hit_rate"] = float64(e.StepsSaved) / float64(total)
+		}
+	}
+	telemetry.RecordSpan(ctx, "cell", start, end, attrs)
+}
+
 // runJob constructs the job's components from the registry and executes one
 // run on the worker's reusable runner. Construction errors (which Validate
 // should have ruled out) and panics surface as Failed results rather than
 // tearing down the pool.
-func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
+func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job, em *telemetry.EngineMetrics) (jr jobResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			jr = jobResult{status: core.Failed, err: fmt.Sprintf("panic: %v", r)}
@@ -333,7 +403,7 @@ func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobRe
 	if err != nil {
 		return jobResult{status: core.Failed, err: err.Error()}
 	}
-	res := runner.Run(proto, g, adv, engine.Options{Model: model, MaxRounds: spec.MaxRounds})
+	res := runner.Run(proto, g, adv, engine.Options{Model: model, MaxRounds: spec.MaxRounds, Metrics: em})
 	jr = jobResult{
 		status:    res.Status,
 		rounds:    res.Rounds,
@@ -355,7 +425,7 @@ func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job) (jr jobRe
 // ∀-adversary verdict: Success only if *every* schedule succeeded within
 // budget, Deadlock if some schedule deadlocked, Failed on any model
 // violation, livelock, or an exhausted step budget.
-func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
+func runExhaustiveJob(ctx context.Context, rng *rand.Rand, spec Spec, job Job, em *telemetry.EngineMetrics) (jr jobResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			jr = jobResult{status: core.Failed, err: fmt.Sprintf("panic: %v", r)}
@@ -393,11 +463,25 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 		}
 		ss.addSchedule(res, weight)
 	}
+	// Each exhaustive enumeration is one "engine" span under the worker's
+	// shard span; the attrs mirror the job's traversal stats.
+	engineStart := time.Now()
+	defer func() {
+		telemetry.RecordSpan(ctx, "engine", engineStart, time.Now(), map[string]any{
+			"protocol":  job.Protocol,
+			"graph":     job.Graph,
+			"n":         job.N,
+			"memoized":  *spec.Memoize,
+			"steps":     ss.steps,
+			"classes":   ss.classes,
+			"schedules": ss.schedules,
+		})
+	}()
 	var runErr error
 	if *spec.Memoize {
 		var mstats engine.MemoStats
 		mstats, runErr = engine.RunAllMemo(proto, g,
-			engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
+			engine.Options{Model: model, MaxRounds: spec.MaxRounds, Metrics: em}, spec.MaxSteps,
 			func(res *core.Result, mult *big.Int) error {
 				w, err := engine.IntFromBig(mult)
 				if err != nil {
@@ -417,7 +501,7 @@ func runExhaustiveJob(rng *rand.Rand, spec Spec, job Job) (jr jobResult) {
 	} else {
 		var stats engine.AllStats
 		stats, runErr = engine.RunAll(proto, g,
-			engine.Options{Model: model, MaxRounds: spec.MaxRounds}, spec.MaxSteps,
+			engine.Options{Model: model, MaxRounds: spec.MaxRounds, Metrics: em}, spec.MaxSteps,
 			func(res *core.Result, _ []int) error {
 				tally(res, 1)
 				return nil

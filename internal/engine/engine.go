@@ -28,6 +28,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // Options tunes a run.
@@ -48,6 +49,11 @@ type Options struct {
 	// is the memoized DAG walk; ExhaustiveNaive re-walks the full schedule
 	// tree. Ignored by Run/RunConcurrent, which follow a single adversary.
 	Exhaustive ExhaustiveStrategy
+	// Metrics, when non-nil, receives one flush of accumulated totals per
+	// run or exploration (telemetry.Nop — a nil group — disables this for
+	// free). Totals are gathered in the engine's own loop variables first,
+	// so the per-step hot path carries no atomic operations.
+	Metrics *telemetry.EngineMetrics
 }
 
 // ModelPtr is a convenience for Options.Model.
@@ -71,6 +77,7 @@ func Run(p core.Protocol, g *graph.Graph, adv adversary.Adversary, opts Options)
 func run(p core.Protocol, views []core.NodeView, adv adversary.Adversary, opts Options) *core.Result {
 	res := &core.Result{Board: core.NewBoard()}
 	runInto(p, views, adv, opts, newState(len(views)-1), res)
+	opts.Metrics.RunDone(len(res.Writes))
 	return res
 }
 
@@ -342,5 +349,6 @@ func RunAll(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 	}
 
 	err := explore(frame{st: newState(n), board: core.NewBoard()}, 1)
+	opts.Metrics.ExhaustiveDone(stats.Steps, 0, 0, 0)
 	return stats, err
 }

@@ -126,6 +126,12 @@ func RunAllMemo(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 	}
 	budget := p.MaxMessageBits(n)
 	stats := MemoStats{Schedules: new(big.Int), NaiveSteps: new(big.Int)}
+	// Telemetry totals accumulate in plain locals and flush once on every
+	// return path; the per-step hot path stays free of atomics.
+	memoHits, multAdds := 0, 0
+	defer func() {
+		opts.Metrics.ExhaustiveDone(stats.Steps, stats.Classes, memoHits, multAdds)
+	}()
 
 	// activate runs the deterministic activation phase in place, exactly as
 	// the naive walk does at the top of each explore call.
@@ -192,6 +198,7 @@ func RunAllMemo(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 				} else {
 					res.Status = core.Deadlock
 				}
+				multAdds++
 				stats.Schedules.Add(stats.Schedules, c.mult)
 				if err := visit(res, c.mult); err != nil {
 					return stats, err
@@ -203,6 +210,7 @@ func RunAllMemo(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 					return stats, ErrBudget
 				}
 				stats.Steps++
+				multAdds++
 				stats.NaiveSteps.Add(stats.NaiveSteps, c.mult)
 				var m core.Message
 				if model.Asynchronous() {
@@ -226,6 +234,8 @@ func RunAllMemo(p core.Protocol, g *graph.Graph, opts Options, maxSteps int,
 				}
 				keyBuf = appendConfigKey(keyBuf[:0], board2, st2, model.Asynchronous())
 				if dup, ok := next[string(keyBuf)]; ok {
+					memoHits++
+					multAdds++
 					dup.mult.Add(dup.mult, c.mult)
 				} else {
 					next[string(keyBuf)] = &memoClass{st: st2, board: board2, mult: new(big.Int).Set(c.mult)}

@@ -45,5 +45,6 @@ func (r *Runner) Run(p core.Protocol, g *graph.Graph, adv adversary.Adversary, o
 	r.board.Reset()
 	r.res = core.Result{Board: r.board, Writes: r.res.Writes[:0]}
 	runInto(p, views, adv, opts, r.st, &r.res)
+	opts.Metrics.RunDone(len(r.res.Writes))
 	return &r.res
 }

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures what instrumentation costs the engine
+// hot paths. The "off" variants run with telemetry.Nop (nil groups — one nil
+// check per flush) and must stay within noise of the uninstrumented
+// BenchmarkRun/BenchmarkExhaustiveStrategies numbers; the "on" variants
+// record into a live registry and show the flush-once cost. CI compares the
+// two as the non-gating BENCH_telemetry leg.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		m    *telemetry.EngineMetrics
+	}{
+		{"off", telemetry.Nop.Engine},
+		{"on", telemetry.NewSet().Engine},
+	}
+	g := graph.Path(256)
+	for _, v := range variants {
+		b.Run(fmt.Sprintf("run/%s", v.name), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := Options{Metrics: v.m}
+			for i := 0; i < b.N; i++ {
+				if res := Run(idEcho{}, g, adversary.Rotor{}, opts); res.Status != core.Success {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+	memoG := graph.Path(7)
+	for _, v := range variants {
+		b.Run(fmt.Sprintf("memo/%s", v.name), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := Options{Metrics: v.m}
+			for i := 0; i < b.N; i++ {
+				_, err := RunAllMemo(idEcho{}, memoG, opts, 1<<26,
+					func(*core.Result, *big.Int) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

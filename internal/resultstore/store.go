@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/telemetry"
 )
 
 // Sentinel errors, matchable with errors.Is so callers (the diff CLI, the
@@ -92,8 +93,14 @@ type envelope struct {
 
 // Store is a directory of stored campaign runs.
 type Store struct {
-	dir string
+	dir     string
+	metrics *telemetry.StoreMetrics
 }
+
+// SetMetrics attaches a telemetry group; saves, report loads, and GC
+// removals are counted into it from then on. A nil group (the default)
+// records nothing.
+func (s *Store) SetMetrics(m *telemetry.StoreMetrics) { s.metrics = m }
 
 // Open returns a Store rooted at dir, creating it if necessary.
 func Open(dir string) (*Store, error) {
@@ -205,6 +212,7 @@ func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 		}
 		entry, err := s.write(dir, env)
 		if err == nil {
+			s.metrics.Ingest()
 			return entry, nil
 		}
 		if os.IsExist(err) {
@@ -481,6 +489,7 @@ func (s *Store) LoadEntry(e Entry) (*campaign.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.Load()
 	return env.Report, nil
 }
 
@@ -626,6 +635,7 @@ func (s *Store) GC(keep int, force bool) (GCResult, error) {
 		// racing save, an orphaned temp file) just stays.
 		os.Remove(filepath.Join(s.dir, e.SpecHash))
 	}
+	s.metrics.GCRemoved(len(res.Removed))
 	return res, nil
 }
 

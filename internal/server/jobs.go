@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/resultstore"
+	"repro/internal/telemetry"
 )
 
 // Job states. A job is running from the moment it is accepted (there is
@@ -91,6 +94,13 @@ type jobMetrics struct {
 type jobManager struct {
 	store   *resultstore.Store
 	workers int
+	// tel carries the monotonic lifetime counters for both metrics
+	// endpoints, independent of the pruned job registry: a scraper must
+	// never see "submitted" or "done" go backwards because old records
+	// aged out. Its campaign group is threaded into every sweep.
+	tel    *telemetry.Set
+	tracer *telemetry.Tracer
+	logger *slog.Logger
 
 	ctx       context.Context
 	cancelAll context.CancelFunc
@@ -102,21 +112,20 @@ type jobManager struct {
 	next     int
 	draining bool // set by shutdown; no further submissions
 
-	// Monotonic lifetime counters for /metricsz, independent of the
-	// pruned job registry: a scraper must never see "submitted" or
-	// "done" go backwards because old records aged out.
-	submitted, done, failed, canceled int
-
 	// testHookCell, when set by tests, runs inside the per-cell progress
 	// hook — a deterministic window into a mid-sweep job.
 	testHookCell func(j *campaignJob, cr campaign.CellResult)
 }
 
-func newJobManager(store *resultstore.Store, workers int) *jobManager {
+func newJobManager(store *resultstore.Store, workers int, tel *telemetry.Set,
+	tracer *telemetry.Tracer, logger *slog.Logger) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &jobManager{
 		store:     store,
 		workers:   workers,
+		tel:       tel,
+		tracer:    tracer,
+		logger:    logger,
 		ctx:       ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*campaignJob),
@@ -194,7 +203,7 @@ func (m *jobManager) submit(spec campaign.Spec, label string) *campaignJob {
 	}
 	m.pruneLocked()
 	m.next++
-	m.submitted++
+	m.tel.Jobs.Submitted()
 	j := &campaignJob{
 		id:         fmt.Sprintf("job-%03d", m.next),
 		spec:       spec,
@@ -223,8 +232,17 @@ func (m *jobManager) run(j *campaignJob, ctx context.Context) {
 	defer m.wg.Done()
 	defer close(j.done)
 	defer j.cancel() // release the context's resources on every path
+	// Every job is one trace, keyed by its ID: the root "job" span, the
+	// workers' shard spans and the retroactive cell spans all land in the
+	// tracer's ring and come back out at /api/v1/trace/{id}.
+	ctx = telemetry.WithTrace(ctx, m.tracer, j.id)
+	ctx, span := telemetry.StartSpan(ctx, "job")
+	span.SetAttr("spec", j.specHash)
+	span.SetAttr("cells", j.cellsTotal)
+	start := time.Now()
 	opts := campaign.Options{
 		Workers: m.workers,
+		Metrics: m.tel.Campaign,
 		OnProgress: func(done, total int) {
 			j.mu.Lock()
 			j.jobsDone = done
@@ -256,19 +274,16 @@ func (m *jobManager) run(j *campaignJob, ctx context.Context) {
 			ref = entry.Ref()
 		}
 	}
+	span.SetAttr("state", state)
+	span.End()
 	j.mu.Lock()
 	j.state, j.errMsg, j.ref = state, errMsg, ref
 	j.mu.Unlock()
-	m.mu.Lock()
-	switch state {
-	case jobDone:
-		m.done++
-	case jobFailed:
-		m.failed++
-	case jobCanceled:
-		m.canceled++
-	}
-	m.mu.Unlock()
+	m.tel.Jobs.Finished(state)
+	m.logger.Info("job finished",
+		"job", j.id, "state", state, "ref", ref,
+		"dur_ms", float64(time.Since(start).Microseconds())/1000,
+		"error", errMsg)
 }
 
 // get returns a job by id.
@@ -295,17 +310,17 @@ func (m *jobManager) list() []jobStatus {
 	return out
 }
 
-// metrics reports the monotonic lifetime tallies — independent of the
-// pruned registry, so counters never move backwards as records age out.
+// metrics reports the monotonic lifetime tallies straight from the shared
+// registry — the same cells /metrics exposes — so counters never move
+// backwards as records age out of the pruned registry.
 func (m *jobManager) metrics() jobMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	submitted, done, failed, canceled := m.tel.Jobs.Counts()
 	return jobMetrics{
-		Submitted: m.submitted,
-		Running:   m.submitted - m.done - m.failed - m.canceled,
-		Done:      m.done,
-		Failed:    m.failed,
-		Canceled:  m.canceled,
+		Submitted: int(submitted),
+		Running:   int(submitted - done - failed - canceled),
+		Done:      int(done),
+		Failed:    int(failed),
+		Canceled:  int(canceled),
 	}
 }
 

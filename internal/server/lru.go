@@ -3,22 +3,25 @@ package server
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // lru is a fixed-capacity, concurrency-safe cache of rendered response
 // bodies. Keys are store key pairs plus a representation variant, and the
 // underlying runs are immutable, so entries never need invalidation — the
 // only eviction is capacity pressure, oldest-use first. Hit and miss
-// counters feed the metrics endpoint.
+// counters feed both metrics endpoints; newLRU starts with standalone
+// counters and the server swaps in its registry-backed pair so /metrics
+// and /metricsz read the same cells.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used; values are *lruEntry
 	byKey map[string]*list.Element
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 type lruEntry struct {
@@ -30,7 +33,10 @@ func newLRU(capacity int) *lru {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+	return &lru{
+		cap: capacity, order: list.New(), byKey: make(map[string]*list.Element),
+		hits: new(telemetry.Counter), misses: new(telemetry.Counter),
+	}
 }
 
 // get returns the cached body for key, marking it most recently used.
@@ -39,11 +45,11 @@ func (c *lru) get(key string) ([]byte, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.hits.Add(1)
+	c.hits.Inc()
 	return el.Value.(*lruEntry).body, true
 }
 
@@ -74,5 +80,5 @@ func (c *lru) len() int {
 
 // stats snapshots the counters for the metrics endpoint.
 func (c *lru) stats() (hits, misses int64, entries, capacity int) {
-	return c.hits.Load(), c.misses.Load(), c.len(), c.cap
+	return c.hits.Value(), c.misses.Value(), c.len(), c.cap
 }

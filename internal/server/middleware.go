@@ -1,0 +1,97 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDPrefix distinguishes this process's request IDs from another
+// replica's; the per-request suffix is a cheap atomic counter. Incoming
+// X-Request-ID headers win, so a proxy (or a retrying client) can stitch
+// its own ID through the access log and trace attrs.
+var requestIDPrefix = func() string {
+	var b [4]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}()
+
+var requestIDCounter atomic.Int64
+
+func nextRequestID() string {
+	var buf [16]byte
+	n := requestIDCounter.Add(1)
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = "0123456789abcdef"[n&0xf]
+		n >>= 4
+	}
+	return requestIDPrefix + "-" + string(buf[i:])
+}
+
+// statusWriter captures the response status for the access log and the
+// per-route metrics; WriteHeader is only recorded once, like net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the route mux with the full observability stack:
+// request-ID assignment, the in-flight gauge, per-route request counts and
+// latency histograms (keyed by http.Request.Pattern, so new routes are
+// counted the moment they are registered), and one structured access-log
+// line per request. Counting happens after ServeHTTP because the matched
+// pattern is only known once routing ran.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		s.tel.HTTP.InFlightAdd(1)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.tel.HTTP.InFlightAdd(-1)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		s.tel.HTTP.Request(pattern, elapsed.Seconds())
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", pattern,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -42,12 +42,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/resultstore"
+	"repro/internal/telemetry"
 )
 
 // DefaultCacheSize bounds the rendered-diff LRU when Options leaves it 0.
@@ -68,6 +70,15 @@ type Options struct {
 	JobWorkers int
 	// Logf, when non-nil, receives one line per request error.
 	Logf func(format string, args ...any)
+	// Logger receives structured request and job logs; nil discards them.
+	Logger *slog.Logger
+	// Telemetry is the metrics set backing /metrics and /metricsz; nil
+	// gives the server its own private set.
+	Telemetry *telemetry.Set
+	// Tracer receives the span trees of submitted campaign jobs, served at
+	// /api/v1/trace/{id}; nil gives the server its own default-capacity
+	// ring.
+	Tracer *telemetry.Tracer
 }
 
 // Server is the HTTP facade over the stores. It is safe for concurrent
@@ -75,10 +86,12 @@ type Options struct {
 type Server struct {
 	stores   []*resultstore.Store
 	cache    *lru
-	metrics  *metrics
+	tel      *telemetry.Set
+	tracer   *telemetry.Tracer
 	jobs     *jobManager
 	readOnly bool
 	logf     func(format string, args ...any)
+	logger   *slog.Logger
 	handler  http.Handler
 }
 
@@ -95,13 +108,33 @@ func New(opts Options) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewSet()
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	}
 	s := &Server{
 		stores:   opts.Stores,
 		cache:    newLRU(size),
-		metrics:  newMetrics(),
-		jobs:     newJobManager(opts.Stores[0], opts.JobWorkers),
+		tel:      tel,
+		tracer:   tracer,
+		jobs:     newJobManager(opts.Stores[0], opts.JobWorkers, tel, tracer, logger),
 		readOnly: opts.ReadOnly,
 		logf:     logf,
+		logger:   logger,
+	}
+	// The diff LRU and the stores record straight into the shared registry,
+	// so /metrics and /metricsz can never disagree about the same event.
+	s.cache.hits, s.cache.misses = tel.HTTP.CacheCounters()
+	for _, st := range opts.Stores {
+		st.SetMetrics(tel.Store)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/reports", s.handleList)
@@ -112,8 +145,10 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleJobList)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleJobStatus)
 	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("GET /api/v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	mux.Handle("GET /metrics", s.tel.Registry.Handler())
 	// Method-less fallbacks: the catch-all "/" below would otherwise
 	// swallow wrong-method requests as 404s, hiding the Allow set.
 	mux.Handle("/api/v1/reports", s.methodNotAllowed("GET, POST"))
@@ -122,17 +157,25 @@ func New(opts Options) (*Server, error) {
 	mux.Handle("/api/v1/campaigns", s.methodNotAllowed("GET, POST"))
 	mux.Handle("/api/v1/campaigns/{id}", s.methodNotAllowed("GET"))
 	mux.Handle("/api/v1/campaigns/{id}/cancel", s.methodNotAllowed("POST"))
+	mux.Handle("/api/v1/trace/{id}", s.methodNotAllowed("GET"))
 	mux.Handle("/healthz", s.methodNotAllowed("GET"))
 	mux.Handle("/metricsz", s.methodNotAllowed("GET"))
+	mux.Handle("/metrics", s.methodNotAllowed("GET"))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
 	})
-	s.handler = s.metrics.instrument(mux)
+	s.handler = s.instrument(mux)
 	return s, nil
 }
 
 // Handler returns the service's root handler, ready for an http.Server.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Telemetry returns the metrics set the server records into — the one
+// passed in Options, or the private set New created. Embedders use it to
+// read counters (the wbserve shutdown summary) or to mount the registry
+// elsewhere.
+func (s *Server) Telemetry() *telemetry.Set { return s.tel }
 
 // Shutdown drains the server's asynchronous work: every in-flight
 // campaign job is canceled and waited for — bounded by ctx — so each
@@ -627,8 +670,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		stores = append(stores, storeMetrics{Dir: st.Dir(), Stats: stat})
 	}
+	// Every number below reads the same registry cells Prometheus scrapes
+	// at /metrics; this JSON view only re-shapes them.
 	s.writeJSON(w, map[string]any{
-		"requests": s.metrics.snapshot(),
+		"requests": s.tel.HTTP.RequestCounts(),
 		"diff_cache": map[string]any{
 			"hits": hits, "misses": misses,
 			"entries": entries, "capacity": capacity,
@@ -637,4 +682,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"stores": stores,
 		"jobs":   s.jobs.metrics(),
 	})
+}
+
+// handleTrace serves the recorded span tree of a campaign job. Spans are
+// kept in a bounded ring, so a trace can be partial: the dropped count
+// says how many of its oldest spans have already been overwritten.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans, dropped := s.tracer.Trace(id)
+	if len(spans) == 0 && dropped == 0 {
+		if _, ok := s.jobs.get(id); !ok {
+			s.error(w, http.StatusNotFound, fmt.Sprintf("no trace for job %q", id))
+			return
+		}
+	}
+	s.writeJSON(w, map[string]any{"trace": id, "dropped": dropped, "spans": spans})
 }

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, children sorted by label
+// values, histogram buckets cumulative with an explicit +Inf bound. The
+// rendering is deterministic for a fixed set of values, which is what the
+// golden test pins.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, c.labelValues), c.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, c.labelValues), c.gauge.Value())
+			case kindHistogram:
+				writeHistogram(&b, f, c)
+			}
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, c *child) {
+	h := c.hist
+	// Fresh slices for the le-augmented label set: appending to the family's
+	// own slices could scribble over a sibling's backing array.
+	names := append(append(make([]string, 0, len(f.labels)+1), f.labels...), "le")
+	values := append(append(make([]string, 0, len(c.labelValues)+1), c.labelValues...), "")
+	cumulative := int64(0)
+	for i, bound := range h.bounds {
+		cumulative += h.buckets[i].Load()
+		values[len(values)-1] = formatFloat(bound)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(names, values), cumulative)
+	}
+	cumulative += h.buckets[len(h.bounds)].Load()
+	values[len(values)-1] = "+Inf"
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(names, values), cumulative)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, c.labelValues), formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, c.labelValues), h.Count())
+}
+
+// labelString renders {k="v",...} or "" for unlabeled children.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus label-value escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders bounds and sums the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,283 @@
+package telemetry
+
+// sets.go bundles the registry behind typed instrument groups, one per
+// layer of the stack. Groups expose nil-safe recording methods instead of
+// raw fields, so a caller holding a nil group (telemetry disabled) pays
+// one nil check and no allocation per record — that is what keeps the
+// engine's instrumented-vs-Nop benchmark within the overhead budget.
+
+// Set is the full sensor grid: one registry plus the instrument groups
+// every instrumented layer records into. The zero Set (telemetry.Nop)
+// disables everything.
+type Set struct {
+	Registry *Registry
+	HTTP     *HTTPMetrics
+	Engine   *EngineMetrics
+	Campaign *CampaignMetrics
+	Store    *StoreMetrics
+	Jobs     *JobMetrics
+}
+
+// Nop is the disabled sensor grid: every group is nil and every recording
+// method a no-op. Pass Nop.Engine (etc.) wherever instrumentation should
+// cost nothing.
+var Nop = &Set{}
+
+// DefLatencyBounds bucket HTTP request latencies (seconds).
+var DefLatencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// DefCellBounds bucket campaign per-cell wall times (seconds): sampled
+// cells finish in microseconds, deep exhaustive cells take minutes.
+var DefCellBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
+
+// NewSet builds a registry with every family of the stack registered, so
+// the exposition carries all unlabeled series from the first scrape.
+func NewSet() *Set {
+	r := NewRegistry()
+	engine := &EngineMetrics{
+		runs:     r.Counter("wb_engine_runs_total", "Engine executions (single runs and exhaustive explorations)."),
+		steps:    r.Counter("wb_engine_steps_total", "Writes simulated by the engine (DAG edges in memoized walks)."),
+		classes:  r.Counter("wb_engine_memo_classes_total", "Configuration classes visited by memoized exhaustive walks."),
+		memoHits: r.Counter("wb_engine_memo_hits_total", "Schedule branches folded into an already-known configuration class."),
+		multAdds: r.Counter("wb_engine_memo_mult_adds_total", "big.Int multiplicity additions performed by memoized walks."),
+	}
+	return &Set{
+		Registry: r,
+		HTTP: &HTTPMetrics{
+			requests: r.CounterVec("wb_http_requests_total", "HTTP requests served, by route pattern.", "route"),
+			latency: r.HistogramVec("wb_http_request_seconds", "HTTP request latency in seconds, by route pattern.",
+				DefLatencyBounds, "route"),
+			inFlight:    r.Gauge("wb_http_in_flight", "HTTP requests currently being served."),
+			cacheHits:   r.Counter("wb_diff_cache_hits_total", "Rendered-diff LRU cache hits."),
+			cacheMisses: r.Counter("wb_diff_cache_misses_total", "Rendered-diff LRU cache misses."),
+		},
+		Engine: engine,
+		Campaign: &CampaignMetrics{
+			Engine:      engine,
+			jobs:        r.Counter("wb_campaign_jobs_total", "Campaign jobs (trials) completed."),
+			cellSeconds: r.Histogram("wb_campaign_cell_seconds", "Per-cell wall time in seconds (sum of the cell's job durations).", DefCellBounds),
+			workersBusy: r.Gauge("wb_campaign_workers_busy", "Campaign worker goroutines currently executing a job."),
+		},
+		Store: &StoreMetrics{
+			ingests:   r.Counter("wb_store_ingests_total", "Reports saved into the result store."),
+			loads:     r.Counter("wb_store_loads_total", "Report bodies loaded from the result store."),
+			gcRemoved: r.Counter("wb_store_gc_removed_total", "Stored runs removed by garbage collection."),
+		},
+		Jobs: &JobMetrics{
+			submitted: r.Counter("wb_jobs_submitted_total", "Campaign jobs submitted over the HTTP job API."),
+			done:      r.Counter("wb_jobs_done_total", "HTTP campaign jobs that completed and stored a report."),
+			failed:    r.Counter("wb_jobs_failed_total", "HTTP campaign jobs that ended in failure."),
+			canceled:  r.Counter("wb_jobs_canceled_total", "HTTP campaign jobs canceled before completion."),
+		},
+	}
+}
+
+// HTTPMetrics instruments the HTTP server: per-route traffic and latency,
+// in-flight requests, and the rendered-diff cache.
+type HTTPMetrics struct {
+	requests    *CounterVec
+	latency     *HistogramVec
+	inFlight    *Gauge
+	cacheHits   *Counter
+	cacheMisses *Counter
+}
+
+// Request records one served request under its route pattern.
+func (m *HTTPMetrics) Request(route string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.requests.With(route).Inc()
+	m.latency.With(route).Observe(seconds)
+}
+
+// InFlightAdd shifts the in-flight request gauge.
+func (m *HTTPMetrics) InFlightAdd(delta int64) {
+	if m == nil {
+		return
+	}
+	m.inFlight.Add(delta)
+}
+
+// RequestCounts snapshots per-route request totals for the JSON metrics
+// view — the same numbers the registry exposes, same keys as the
+// pre-registry /metricsz.
+func (m *HTTPMetrics) RequestCounts() map[string]int64 {
+	if m == nil {
+		return map[string]int64{}
+	}
+	return m.requests.Snapshot()
+}
+
+// CacheCounters hands out the diff-LRU hit/miss counters so the cache
+// records straight into the registry.
+func (m *HTTPMetrics) CacheCounters() (hits, misses *Counter) {
+	if m == nil {
+		return nil, nil
+	}
+	return m.cacheHits, m.cacheMisses
+}
+
+// EngineMetrics instruments the simulation engine. Recording happens once
+// per run or exploration — totals accumulate locally in the engine's own
+// loop variables first — so the per-step hot path carries no atomics.
+type EngineMetrics struct {
+	runs     *Counter
+	steps    *Counter
+	classes  *Counter
+	memoHits *Counter
+	multAdds *Counter
+}
+
+// RunDone records one completed single-schedule run of writes steps.
+func (m *EngineMetrics) RunDone(writes int) {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+	m.steps.Add(int64(writes))
+}
+
+// ExhaustiveDone records one completed (or aborted) exhaustive
+// exploration: unique simulated writes, configuration classes, schedule
+// branches deduplicated into existing classes, and big.Int multiplicity
+// additions. Naive walks report zeros for the memo quantities.
+func (m *EngineMetrics) ExhaustiveDone(steps, classes, memoHits, multAdds int) {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+	m.steps.Add(int64(steps))
+	m.classes.Add(int64(classes))
+	m.memoHits.Add(int64(memoHits))
+	m.multAdds.Add(int64(multAdds))
+}
+
+// Steps returns the lifetime simulated-write total (tests and views).
+func (m *EngineMetrics) Steps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.steps.Value()
+}
+
+// MemoHits returns the lifetime dedup total (tests and views).
+func (m *EngineMetrics) MemoHits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.memoHits.Value()
+}
+
+// CampaignMetrics instruments campaign sweeps. Engine points at the
+// engine group so one Options field carries the whole chain downward.
+type CampaignMetrics struct {
+	Engine      *EngineMetrics
+	jobs        *Counter
+	cellSeconds *Histogram
+	workersBusy *Gauge
+}
+
+// EngineMetrics returns the engine group, nil-safely.
+func (m *CampaignMetrics) EngineMetrics() *EngineMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Engine
+}
+
+// WorkerBusy shifts the busy-worker gauge (+1 entering a job, -1 leaving).
+func (m *CampaignMetrics) WorkerBusy(delta int64) {
+	if m == nil {
+		return
+	}
+	m.workersBusy.Add(delta)
+}
+
+// JobDone records one completed job (trial).
+func (m *CampaignMetrics) JobDone() {
+	if m == nil {
+		return
+	}
+	m.jobs.Inc()
+}
+
+// CellDone records one completed cell's wall time (sum of job durations).
+func (m *CampaignMetrics) CellDone(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.cellSeconds.Observe(seconds)
+}
+
+// StoreMetrics instruments the result store.
+type StoreMetrics struct {
+	ingests   *Counter
+	loads     *Counter
+	gcRemoved *Counter
+}
+
+// Ingest records one report saved.
+func (m *StoreMetrics) Ingest() {
+	if m == nil {
+		return
+	}
+	m.ingests.Inc()
+}
+
+// Load records one report body loaded.
+func (m *StoreMetrics) Load() {
+	if m == nil {
+		return
+	}
+	m.loads.Inc()
+}
+
+// GCRemoved records n runs removed by a GC pass.
+func (m *StoreMetrics) GCRemoved(n int) {
+	if m == nil {
+		return
+	}
+	m.gcRemoved.Add(int64(n))
+}
+
+// JobMetrics instruments the HTTP job API's lifetime counters. Monotonic
+// by construction, so a scraper never sees them move backwards.
+type JobMetrics struct {
+	submitted *Counter
+	done      *Counter
+	failed    *Counter
+	canceled  *Counter
+}
+
+// Submitted records one accepted job.
+func (m *JobMetrics) Submitted() {
+	if m == nil {
+		return
+	}
+	m.submitted.Inc()
+}
+
+// Finished records one job reaching the given terminal state.
+func (m *JobMetrics) Finished(state string) {
+	if m == nil {
+		return
+	}
+	switch state {
+	case "done":
+		m.done.Inc()
+	case "failed":
+		m.failed.Inc()
+	case "canceled":
+		m.canceled.Inc()
+	}
+}
+
+// Counts snapshots the lifetime tallies (submitted, done, failed,
+// canceled); running is submitted minus the terminal states.
+func (m *JobMetrics) Counts() (submitted, done, failed, canceled int64) {
+	if m == nil {
+		return 0, 0, 0, 0
+	}
+	return m.submitted.Value(), m.done.Value(), m.failed.Value(), m.canceled.Value()
+}

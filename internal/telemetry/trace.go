@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records completed spans into a fixed ring buffer, grouped by
+// trace ID — one trace per job, one span per unit of attributable work
+// (job → matrix shard → cell → engine run). It is deliberately light:
+// spans are a few fields plus an attribute map, recording is one mutex
+// acquisition, and the ring bounds memory no matter how long the process
+// serves. When the ring wraps, the oldest spans are dropped and the drop
+// counter advances, so a dump can say "truncated" instead of lying.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	head    int // next write position
+	filled  int
+	nextID  uint64
+	dropped int64
+}
+
+// DefaultSpanCapacity bounds the ring when NewTracer is given 0.
+const DefaultSpanCapacity = 8192
+
+// NewTracer returns a tracer whose ring holds capacity spans
+// (DefaultSpanCapacity when 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{buf: make([]SpanRecord, capacity)}
+}
+
+// SpanRecord is one completed span as stored and dumped: identity, tree
+// position, timing, and free-form attributes (engine steps, memo hits,
+// cell coordinates, ...).
+type SpanRecord struct {
+	Trace   string         `json:"-"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Start   time.Time      `json:"start"`
+	Seconds float64        `json:"seconds"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// record appends one completed span, overwriting the oldest when full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled == len(t.buf) {
+		t.dropped++
+	} else {
+		t.filled++
+	}
+	t.buf[t.head] = rec
+	t.head = (t.head + 1) % len(t.buf)
+}
+
+// allocID hands out process-unique span IDs (0 means "no parent").
+func (t *Tracer) allocID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// Trace returns every retained span of the given trace, sorted by start
+// time then ID — a stable order a renderer can build the tree from — plus
+// the number of spans the ring has dropped tracer-wide since start.
+func (t *Tracer) Trace(traceID string) (spans []SpanRecord, dropped int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	for i := 0; i < t.filled; i++ {
+		rec := t.buf[(t.head-t.filled+i+len(t.buf))%len(t.buf)]
+		if rec.Trace == traceID {
+			spans = append(spans, rec)
+		}
+	}
+	dropped = t.dropped
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans, dropped
+}
+
+// Span is an in-flight span. A nil *Span (no tracer on the context)
+// absorbs every operation, so instrumented code never branches on whether
+// tracing is enabled.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	mu     sync.Mutex // guards rec.Attrs; spans may be annotated cross-goroutine
+}
+
+// SetAttr attaches one attribute to the span. Call before End.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]any)
+	}
+	s.rec.Attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End completes the span and commits it to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Seconds = time.Since(s.rec.Start).Seconds()
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.record(rec)
+}
+
+// traceContext is the per-context trace state: which tracer, which trace,
+// and the current span (the parent of anything started below).
+type traceContext struct {
+	tracer *Tracer
+	trace  string
+	spanID uint64
+}
+
+type traceCtxKey struct{}
+
+// WithTrace roots a trace on the context: spans started below record into
+// tr under traceID. A nil tracer returns ctx unchanged (tracing off).
+func WithTrace(ctx context.Context, tr *Tracer, traceID string) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, &traceContext{tracer: tr, trace: traceID})
+}
+
+// StartSpan opens a span under the context's current span. The returned
+// context makes the new span the parent of spans started below it. With
+// no trace on the context both returns are inert (ctx unchanged, nil
+// span), costing one context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tc, ok := ctx.Value(traceCtxKey{}).(*traceContext)
+	if !ok {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: tc.tracer,
+		rec: SpanRecord{
+			Trace:  tc.trace,
+			ID:     tc.tracer.allocID(),
+			Parent: tc.spanID,
+			Name:   name,
+			Start:  time.Now(),
+		},
+	}
+	ctx = context.WithValue(ctx, traceCtxKey{},
+		&traceContext{tracer: tc.tracer, trace: tc.trace, spanID: s.rec.ID})
+	return ctx, s
+}
+
+// RecordSpan commits an already-timed span under the context's current
+// span — for work whose boundaries are known only after the fact, like a
+// cell assembled from job results that ran on several workers. No-op
+// without a trace on the context.
+func RecordSpan(ctx context.Context, name string, start, end time.Time, attrs map[string]any) {
+	tc, ok := ctx.Value(traceCtxKey{}).(*traceContext)
+	if !ok {
+		return
+	}
+	tc.tracer.record(SpanRecord{
+		Trace:   tc.trace,
+		ID:      tc.tracer.allocID(),
+		Parent:  tc.spanID,
+		Name:    name,
+		Start:   start,
+		Seconds: end.Sub(start).Seconds(),
+		Attrs:   attrs,
+	})
+}

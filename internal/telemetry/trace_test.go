@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSpanTree pins context propagation: spans started below a span become
+// its children, RecordSpan attaches to the current span, and the dump is
+// sorted by start time.
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTrace(context.Background(), tr, "job-001")
+
+	ctx, root := StartSpan(ctx, "job")
+	root.SetAttr("spec", "abc")
+	cctx, shard := StartSpan(ctx, "shard")
+	start := time.Now()
+	RecordSpan(cctx, "cell", start, start.Add(50*time.Millisecond), map[string]any{"index": 0})
+	shard.End()
+	root.End()
+
+	spans, dropped := tr.Trace("job-001")
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].Parent != 0 {
+		t.Errorf("job parent = %d, want 0 (root)", byName["job"].Parent)
+	}
+	if byName["shard"].Parent != byName["job"].ID {
+		t.Errorf("shard parent = %d, want job id %d", byName["shard"].Parent, byName["job"].ID)
+	}
+	if byName["cell"].Parent != byName["shard"].ID {
+		t.Errorf("cell parent = %d, want shard id %d", byName["cell"].Parent, byName["shard"].ID)
+	}
+	if byName["job"].Attrs["spec"] != "abc" {
+		t.Errorf("job attrs = %v", byName["job"].Attrs)
+	}
+	if s := byName["cell"].Seconds; s < 0.049 || s > 0.051 {
+		t.Errorf("cell seconds = %v, want ~0.05", s)
+	}
+}
+
+// TestTracerIsolation pins that traces do not bleed into each other and
+// that a context without a trace is inert.
+func TestTracerIsolation(t *testing.T) {
+	tr := NewTracer(16)
+	ctxA := WithTrace(context.Background(), tr, "a")
+	ctxB := WithTrace(context.Background(), tr, "b")
+	_, sa := StartSpan(ctxA, "one")
+	sa.End()
+	_, sb := StartSpan(ctxB, "two")
+	sb.End()
+	if spans, _ := tr.Trace("a"); len(spans) != 1 || spans[0].Name != "one" {
+		t.Errorf("trace a = %+v", spans)
+	}
+	if spans, _ := tr.Trace("b"); len(spans) != 1 || spans[0].Name != "two" {
+		t.Errorf("trace b = %+v", spans)
+	}
+
+	// No trace on the context: both returns inert, nothing recorded.
+	ctx, s := StartSpan(context.Background(), "loose")
+	if s != nil {
+		t.Error("span started without a trace")
+	}
+	s.SetAttr("k", 1)
+	s.End()
+	RecordSpan(ctx, "loose2", time.Now(), time.Now(), nil)
+	if spans, _ := tr.Trace(""); len(spans) != 0 {
+		t.Errorf("untraced work leaked into the ring: %+v", spans)
+	}
+	// WithTrace over a nil tracer is also inert.
+	nilCtx := WithTrace(context.Background(), nil, "x")
+	if _, s := StartSpan(nilCtx, "y"); s != nil {
+		t.Error("nil tracer produced a live span")
+	}
+}
+
+// TestRingDropsOldest pins the bounded-memory contract: past capacity the
+// oldest spans fall out and the drop counter advances.
+func TestRingDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTrace(context.Background(), tr, "t")
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		RecordSpan(ctx, "s", start, start, map[string]any{"i": i})
+	}
+	spans, dropped := tr.Trace("t")
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	for i, s := range spans {
+		if want := 6 + i; s.Attrs["i"] != want {
+			t.Errorf("span %d carries i=%v, want %d (oldest must drop first)", i, s.Attrs["i"], want)
+		}
+	}
+}
