@@ -18,6 +18,8 @@
 //	wbcampaign diff                  # latest two runs of the newest spec
 //	wbcampaign diff run-001 run-002  # explicit refs, -json for machines
 //	wbcampaign gc -keep 5            # prune old runs, keeping 5 per spec
+//	wbcampaign export -out store.jsonl   # archive the store as JSON lines
+//	wbcampaign import store.jsonl        # merge an archive into the store
 //
 // `run` without a subcommand word keeps working for compatibility:
 //
@@ -72,6 +74,12 @@ func main() {
 		case "gc":
 			gcCmd(args[1:])
 			return
+		case "export":
+			exportCmd(args[1:])
+			return
+		case "import":
+			importCmd(args[1:])
+			return
 		case "help", "-h", "-help", "--help":
 			usage(os.Stdout)
 			return
@@ -87,12 +95,14 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprint(w, `usage: wbcampaign [run|list|diff|gc] [flags]
+	fmt.Fprint(w, `usage: wbcampaign [run|list|diff|gc|export|import] [flags]
 
-  run   execute a campaign spec (default when flags are given directly)
-  list  list runs stored with `+"`run -store`"+`
-  diff  compare two stored runs cell by cell (exit 1 when they differ)
-  gc    prune stored runs, keeping the newest N per spec
+  run     execute a campaign spec (default when flags are given directly)
+  list    list runs stored with `+"`run -store`"+`
+  diff    compare two stored runs cell by cell (exit 1 when they differ)
+  gc      prune stored runs, keeping the newest N per spec
+  export  write every stored run as a portable JSON-lines archive
+  import  add the runs of an archive to the store (existing runs skipped)
 
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
            [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
@@ -101,6 +111,8 @@ run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
 gc flags:   -keep N [-dir DIR] [-force] [-quiet]
+export flags: [-dir DIR] [-out FILE]    (default: archive to stdout)
+import flags: [-dir DIR] [FILE]         (default: archive from stdin)
 `)
 }
 
@@ -460,6 +472,74 @@ func gcCmd(args []string) {
 		}
 	}
 	fmt.Printf("gc: removed %d runs, kept %d (keep %d per spec)\n", len(res.Removed), res.Kept, *keep)
+}
+
+// exportCmd streams the whole store as a JSON-lines archive — one wire
+// envelope per run — to stdout or -out, for backup and cross-machine
+// moves; `import` is its inverse.
+func exportCmd(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("dir", defaultStoreDir, "result store directory")
+	out := fs.String("out", "", "archive path; empty = stdout")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "wbcampaign export: takes no arguments")
+		os.Exit(2)
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := st.Export(w)
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "exported %d runs from %s to %s\n", n, *dir, *out)
+	} else {
+		fmt.Fprintf(os.Stderr, "exported %d runs from %s\n", n, *dir)
+	}
+}
+
+// importCmd reads an export archive (a file argument or stdin) into the
+// store; runs already present are skipped, so re-importing is safe.
+func importCmd(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	dir := fs.String("dir", defaultStoreDir, "result store directory")
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "wbcampaign import: want one archive file (or stdin)")
+		os.Exit(2)
+	}
+	r := io.Reader(os.Stdin)
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fail(err)
+	}
+	res, err := st.Import(r)
+	if err != nil {
+		// Partial progress is real progress: say what landed before failing.
+		fmt.Fprintf(os.Stderr, "wbcampaign import: %d runs added, %d skipped before error\n", res.Added, res.Skipped)
+		fail(err)
+	}
+	fmt.Printf("imported %d runs into %s (%d already present)\n", res.Added, *dir, res.Skipped)
 }
 
 // remoteJob mirrors the server's job-status document; only the fields the

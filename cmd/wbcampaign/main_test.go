@@ -319,3 +319,67 @@ func TestGCCmd(t *testing.T) {
 		t.Fatalf("after gc -keep 1: %+v, want only run-003", entries)
 	}
 }
+
+// TestExportImportCmd drives the CLI pair end to end: export a populated
+// store to an archive file, import it into a fresh directory, and check
+// the destination serves the same reports byte-for-byte.
+func TestExportImportCmd(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := store.Open(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := smokeReport(t)
+	if _, err := src.Save(rep, "tagged"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Save(rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	archive := filepath.Join(t.TempDir(), "archive.jsonl")
+	exportCmd([]string{"-dir", srcDir, "-out", archive})
+	data, err := os.ReadFile(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Fatalf("archive holds %d lines, want 2", lines)
+	}
+	importCmd([]string{"-dir", dstDir, archive})
+	dst, err := store.Open(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := dst.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("destination lists %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		got, err := dst.LoadEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := rep.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: report changed crossing the CLI archive", e.Ref())
+		}
+	}
+	// Idempotent: importing the same archive again adds nothing.
+	importCmd([]string{"-dir", dstDir, archive})
+	entries, err = dst.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("re-import grew the store to %d entries", len(entries))
+	}
+}

@@ -1,0 +1,374 @@
+package resultstore
+
+// codec.go packs a report's cell table — the heavy payload of a stored
+// envelope — into a compact columnar byte block. Cells are laid out one
+// column at a time (all protocols, then all graphs, then every integer
+// statistic), which groups like with like: the string axes repeat heavily
+// across a job matrix and collapse into a small dictionary, and the
+// integer statistics are slowly-varying sorted runs in matrix order, so
+// delta + varint coding stores most values in one byte. Schedule tallies
+// for an exhaustive sweep compress roughly 7× against the indented JSON
+// they replace.
+//
+// The block is an internal on-disk detail: decode reconstructs the exact
+// []campaign.Cell the encoder saw — float means bit-for-bit, nil versus
+// present Exhaustive sections, empty versus set FirstError — so a loaded
+// report renders byte-identically to the report that was saved. The
+// decoder trusts nothing: truncation, bad magic, out-of-range dictionary
+// indices and trailing garbage are all errors, never panics, and every
+// allocation is bounded by the input length.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/campaign"
+)
+
+// cellsMagic brands a columnar cell block; the trailing digit versions
+// the layout.
+const cellsMagic = "WBC1"
+
+// errCodec prefixes every decode failure so store callers can report a
+// corrupt payload distinctly from a corrupt envelope.
+func errCodec(format string, args ...any) error {
+	return fmt.Errorf("cell codec: "+format, args...)
+}
+
+// encodeCells packs cells into a columnar block. nil and empty slices are
+// distinguished so the round trip preserves JSON null-vs-[] rendering.
+func encodeCells(cells []campaign.Cell) []byte {
+	buf := []byte(cellsMagic)
+	if cells == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(cells)))
+
+	// String dictionary, interned in column order so encoding is a pure
+	// function of the cell table.
+	var words []string
+	index := map[string]uint64{}
+	intern := func(s string) uint64 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint64(len(words))
+		index[s] = i
+		words = append(words, s)
+		return i
+	}
+	cols := [][]uint64{}
+	stringCol := func(get func(*campaign.Cell) string) {
+		col := make([]uint64, len(cells))
+		for i := range cells {
+			col[i] = intern(get(&cells[i]))
+		}
+		cols = append(cols, col)
+	}
+	stringCol(func(c *campaign.Cell) string { return c.Protocol })
+	stringCol(func(c *campaign.Cell) string { return c.Graph })
+	stringCol(func(c *campaign.Cell) string { return c.Adversary })
+	stringCol(func(c *campaign.Cell) string { return c.Model })
+	stringCol(func(c *campaign.Cell) string { return c.FirstError })
+
+	buf = binary.AppendUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.AppendUvarint(buf, uint64(len(w)))
+		buf = append(buf, w...)
+	}
+	for _, col := range cols {
+		for _, v := range col {
+			buf = binary.AppendUvarint(buf, v)
+		}
+	}
+
+	intCol := func(get func(*campaign.Cell) int) {
+		prev := 0
+		for i := range cells {
+			v := get(&cells[i])
+			buf = binary.AppendUvarint(buf, zigzag(int64(v-prev)))
+			prev = v
+		}
+	}
+	intCol(func(c *campaign.Cell) int { return c.N })
+	intCol(func(c *campaign.Cell) int { return c.Runs })
+	intCol(func(c *campaign.Cell) int { return c.Success })
+	intCol(func(c *campaign.Cell) int { return c.Deadlock })
+	intCol(func(c *campaign.Cell) int { return c.Failed })
+	intCol(func(c *campaign.Cell) int { return c.Rounds.Min })
+	intCol(func(c *campaign.Cell) int { return c.Rounds.Max })
+	intCol(func(c *campaign.Cell) int { return c.BoardBits.Min })
+	intCol(func(c *campaign.Cell) int { return c.BoardBits.Max })
+	intCol(func(c *campaign.Cell) int { return c.MaxMessageBits })
+
+	floatCol := func(get func(*campaign.Cell) float64) {
+		for i := range cells {
+			buf = binary.AppendUvarint(buf, packFloat(get(&cells[i])))
+		}
+	}
+	floatCol(func(c *campaign.Cell) float64 { return c.Rounds.Mean })
+	floatCol(func(c *campaign.Cell) float64 { return c.BoardBits.Mean })
+
+	// Exhaustive sections: a presence bitmap, then the tallies of present
+	// cells as delta+varint columns and their budget flags as a bitmap.
+	present := make([]byte, (len(cells)+7)/8)
+	var exh []*campaign.ExhaustiveCell
+	for i := range cells {
+		if cells[i].Exhaustive != nil {
+			present[i/8] |= 1 << (i % 8)
+			exh = append(exh, cells[i].Exhaustive)
+		}
+	}
+	buf = append(buf, present...)
+	exhCol := func(get func(*campaign.ExhaustiveCell) int) {
+		prev := 0
+		for _, e := range exh {
+			v := get(e)
+			buf = binary.AppendUvarint(buf, zigzag(int64(v-prev)))
+			prev = v
+		}
+	}
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Schedules })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Steps })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Success })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Deadlock })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Failed })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.DistinctOutputs })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.Classes })
+	exhCol(func(e *campaign.ExhaustiveCell) int { return e.StepsSaved })
+	budget := make([]byte, (len(exh)+7)/8)
+	for i, e := range exh {
+		if e.BudgetExhausted {
+			budget[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf = append(buf, budget...)
+	return buf
+}
+
+// decodeCells is the exact inverse of encodeCells; any input it accepts
+// re-encodes to the same bytes.
+func decodeCells(data []byte) ([]campaign.Cell, error) {
+	r := &byteReader{data: data}
+	magic, err := r.take(len(cellsMagic))
+	if err != nil || string(magic) != cellsMagic {
+		return nil, errCodec("bad magic (not a columnar cell block)")
+	}
+	kind, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	switch kind[0] {
+	case 0:
+		if r.remaining() != 0 {
+			return nil, errCodec("%d trailing bytes after nil cell table", r.remaining())
+		}
+		return nil, nil
+	case 1:
+	default:
+		return nil, errCodec("unknown cell-table kind %d", kind[0])
+	}
+	n64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > uint64(r.remaining()) {
+		// Every cell costs at least one byte per column; a count beyond the
+		// remaining input is a lie (and would drive a huge allocation).
+		return nil, errCodec("cell count %d exceeds payload size", n64)
+	}
+	n := int(n64)
+
+	dictLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > uint64(r.remaining()) {
+		return nil, errCodec("dictionary size %d exceeds payload size", dictLen)
+	}
+	words := make([]string, dictLen)
+	for i := range words {
+		wl, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.take(int(wl))
+		if err != nil {
+			return nil, err
+		}
+		words[i] = string(raw)
+	}
+	stringCol := func() ([]string, error) {
+		col := make([]string, n)
+		for i := range col {
+			idx, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(words)) {
+				return nil, errCodec("dictionary index %d out of range (%d words)", idx, len(words))
+			}
+			col[i] = words[idx]
+		}
+		return col, nil
+	}
+	intCol := func() ([]int, error) {
+		col := make([]int, n)
+		prev := int64(0)
+		for i := range col {
+			u, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += unzigzag(u)
+			col[i] = int(prev)
+		}
+		return col, nil
+	}
+	floatCol := func() ([]float64, error) {
+		col := make([]float64, n)
+		for i := range col {
+			u, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			col[i] = unpackFloat(u)
+		}
+		return col, nil
+	}
+
+	var cols struct {
+		protocol, graph, adversary, model, firstError []string
+		n, runs, success, deadlock, failed            []int
+		roundsMin, roundsMax, bbMin, bbMax, maxMsg    []int
+		roundsMean, bbMean                            []float64
+	}
+	for _, dst := range []*[]string{&cols.protocol, &cols.graph, &cols.adversary, &cols.model, &cols.firstError} {
+		if *dst, err = stringCol(); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*[]int{&cols.n, &cols.runs, &cols.success, &cols.deadlock, &cols.failed,
+		&cols.roundsMin, &cols.roundsMax, &cols.bbMin, &cols.bbMax, &cols.maxMsg} {
+		if *dst, err = intCol(); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*[]float64{&cols.roundsMean, &cols.bbMean} {
+		if *dst, err = floatCol(); err != nil {
+			return nil, err
+		}
+	}
+
+	present, err := r.take((n + 7) / 8)
+	if err != nil {
+		return nil, err
+	}
+	m := 0
+	for i := 0; i < n; i++ {
+		if present[i/8]&(1<<(i%8)) != 0 {
+			m++
+		}
+	}
+	exhCols := make([][]int, 8)
+	for k := range exhCols {
+		prev := int64(0)
+		col := make([]int, m)
+		for i := range col {
+			u, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += unzigzag(u)
+			col[i] = int(prev)
+		}
+		exhCols[k] = col
+	}
+	budget, err := r.take((m + 7) / 8)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, errCodec("%d trailing bytes after cell table", r.remaining())
+	}
+
+	cells := make([]campaign.Cell, n)
+	j := 0
+	for i := range cells {
+		cells[i] = campaign.Cell{
+			Protocol:       cols.protocol[i],
+			Graph:          cols.graph[i],
+			N:              cols.n[i],
+			Adversary:      cols.adversary[i],
+			Model:          cols.model[i],
+			Runs:           cols.runs[i],
+			Success:        cols.success[i],
+			Deadlock:       cols.deadlock[i],
+			Failed:         cols.failed[i],
+			Rounds:         campaign.Dist{Min: cols.roundsMin[i], Max: cols.roundsMax[i], Mean: cols.roundsMean[i]},
+			BoardBits:      campaign.Dist{Min: cols.bbMin[i], Max: cols.bbMax[i], Mean: cols.bbMean[i]},
+			MaxMessageBits: cols.maxMsg[i],
+			FirstError:     cols.firstError[i],
+		}
+		if present[i/8]&(1<<(i%8)) != 0 {
+			cells[i].Exhaustive = &campaign.ExhaustiveCell{
+				Schedules:       exhCols[0][j],
+				Steps:           exhCols[1][j],
+				Success:         exhCols[2][j],
+				Deadlock:        exhCols[3][j],
+				Failed:          exhCols[4][j],
+				DistinctOutputs: exhCols[5][j],
+				Classes:         exhCols[6][j],
+				StepsSaved:      exhCols[7][j],
+				BudgetExhausted: budget[j/8]&(1<<(j%8)) != 0,
+			}
+			j++
+		}
+	}
+	return cells, nil
+}
+
+// zigzag folds signed deltas into unsigned varint space: small negatives
+// stay small.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// packFloat byte-reverses the IEEE-754 bits before varint coding: the
+// means in a report are short decimals whose mantissa tail is zeros, so
+// reversing moves the information into the low bytes and a typical mean
+// costs 2–4 bytes instead of a fixed 8. The round trip is bit-exact for
+// every float64, NaN payloads included.
+func packFloat(f float64) uint64 { return bits.ReverseBytes64(math.Float64bits(f)) }
+
+func unpackFloat(u uint64) float64 { return math.Float64frombits(bits.ReverseBytes64(u)) }
+
+// byteReader walks a block with bounds checks; all decode errors about
+// shape funnel through it.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, errCodec("truncated block (want %d bytes at offset %d, have %d)", n, r.pos, r.remaining())
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errCodec("truncated or overlong varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}

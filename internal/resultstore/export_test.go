@@ -1,0 +1,120 @@
+package resultstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExportImportRoundTrip pins store portability: an archive carries
+// every run — labels and reports byte-identical — into a fresh store, and
+// re-importing the same archive is a no-op.
+func TestExportImportRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Save(syntheticReport(4), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Save(syntheticReport(4), "tagged"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Save(syntheticReport(5), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var archive bytes.Buffer
+	n, err := src.Export(&archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("exported %d runs, want 3", n)
+	}
+	if lines := strings.Count(archive.String(), "\n"); lines != 3 {
+		t.Fatalf("archive holds %d lines, want 3", lines)
+	}
+
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dst.Import(bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 3 || res.Skipped != 0 {
+		t.Fatalf("import = %+v, want 3 added", res)
+	}
+	srcEntries, _ := src.List()
+	dstEntries, err := dst.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dstEntries) != len(srcEntries) {
+		t.Fatalf("destination lists %d entries, want %d", len(dstEntries), len(srcEntries))
+	}
+	for i, se := range srcEntries {
+		de := dstEntries[i]
+		if de.Ref() != se.Ref() || de.Seq != i+1 {
+			t.Errorf("entry %d: got %s seq %d, want %s seq %d", i, de.Ref(), de.Seq, se.Ref(), i+1)
+		}
+		srcRep, err := src.LoadEntry(se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstRep, err := dst.LoadEntry(de)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := srcRep.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := dstRep.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("entry %d: report changed crossing the archive", i)
+		}
+	}
+
+	// Idempotent: the same archive again adds nothing.
+	res, err = dst.Import(bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 0 || res.Skipped != 3 {
+		t.Fatalf("re-import = %+v, want 3 skipped", res)
+	}
+
+	// An auto save after importing auto labels must skip the taken names
+	// instead of colliding with them forever.
+	e, err := dst.Save(syntheticReport(4), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label == "run-001" {
+		t.Errorf("post-import auto save reused imported label %s", e.Label)
+	}
+}
+
+// TestImportRejectsGarbage pins the failure mode: a broken archive aborts
+// with a line number and reports what already landed.
+func TestImportRejectsGarbage(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Import(strings.NewReader("this is not an archive\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("garbage import: got %v, want line-1 error", err)
+	}
+	if _, err := st.Import(strings.NewReader(`{"spec_hash":"abc","label":"x"}` + "\n")); err == nil || !strings.Contains(err.Error(), "no report") {
+		t.Fatalf("report-less line: got %v", err)
+	}
+	if entries, _ := st.List(); len(entries) != 0 {
+		t.Errorf("failed imports left %d entries behind", len(entries))
+	}
+}

@@ -1,0 +1,388 @@
+package resultstore
+
+// index.go maintains the store's persistent entry-metadata index: the
+// reason List, Resolve, Stat and Save are O(index) instead of re-reading
+// every envelope in the store on every call.
+//
+// The in-memory index maps spec group → {dirent names, entry metadata}.
+// It is loaded once from <dir>/index.json plus the <dir>/index.log
+// journal, then kept honest by a cheap freshness walk before every read:
+// ReadDir of the store root (group names) and one Stat per group
+// directory. A group whose recorded mtime matches the directory and is
+// older than the filesystem-granularity window is proven untouched; a
+// group that moved gets its dirent names re-listed, and only when the
+// name set actually changed are that group's envelopes re-parsed. The
+// index is therefore a cache with a rebuild path, never a source of
+// truth: a corrupt or stale index file, files vanished or planted by an
+// external sync, and orphaned .tmp debris all converge back to the same
+// listing a full scan would produce — at the cost of rescanning only the
+// groups that moved.
+//
+// Persistence is transactional in the crash-safe sense: Save appends one
+// journal line after its envelope landed, and snapshot rewrites go
+// through a temp file + rename. A crash between envelope and journal
+// leaves the index stale, which the mtime walk detects; a torn journal
+// tail is ignored. Persist failures are deliberately non-fatal — a store
+// on a read-only mirror still lists fine, just without the warm-start.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+)
+
+const (
+	// indexFile and indexJournal live at the store root, outside every
+	// spec group, so the group walk never mistakes them for entries.
+	indexFile    = "index.json"
+	indexJournal = "index.log"
+	indexVersion = 1
+	// racyWindow is how recently a group directory may have been modified
+	// before its mtime stops proving freshness: within one filesystem
+	// timestamp granule, a second write can land without moving the mtime,
+	// so young groups are verified by re-listing their dirent names (still
+	// no envelope reads) instead.
+	racyWindow = 2 * time.Second
+)
+
+// zeroTime marks a group for dirent re-verification on the next walk.
+var zeroTime time.Time
+
+// indexEntry is one stored run as the index knows it: the listing
+// metadata plus the envelope's on-disk size, which Stat sums.
+type indexEntry struct {
+	Entry
+	Size int64 `json:"size"`
+}
+
+// groupState is the index's view of one spec-group directory. Entries is
+// keyed by dirent name ("<label>.json") and Files records every dirent —
+// debris included — so known-inert .tmp orphans and foreign files do not
+// force a reparse on every freshness walk.
+type groupState struct {
+	Files   []string              `json:"files"`
+	Entries map[string]indexEntry `json:"entries"`
+	// mtime is the directory mtime that Files/Entries were verified
+	// against; zero means "verify by name comparison on next walk".
+	mtime time.Time
+}
+
+// storeIndex is the in-memory index; it lives inside Store behind its
+// mutex.
+type storeIndex struct {
+	groups map[string]*groupState
+	loaded bool
+	// sorted caches the List ordering; nil after any mutation.
+	sorted []Entry
+}
+
+// indexSnapshot is the persisted form.
+type indexSnapshot struct {
+	Version int                    `json:"version"`
+	Groups  map[string]*groupState `json:"groups"`
+}
+
+// loadIndexLocked reads the persisted snapshot and journal, best-effort:
+// anything unparseable or implausible degrades to an empty index, which
+// the freshness walk rebuilds from the directory tree.
+func (s *Store) loadIndexLocked() {
+	s.idx.groups = map[string]*groupState{}
+	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	if err == nil {
+		var snap indexSnapshot
+		if json.Unmarshal(data, &snap) == nil && snap.Version == indexVersion {
+			for hash, g := range snap.Groups {
+				if g == nil || !plausibleGroup(hash, g) {
+					continue
+				}
+				if g.Entries == nil {
+					g.Entries = map[string]indexEntry{}
+				}
+				slices.Sort(g.Files)
+				s.idx.groups[hash] = g
+			}
+		}
+	}
+	// Replay the journal: entries saved since the last snapshot rewrite.
+	// A torn final line (crash mid-append) ends the replay silently.
+	jf, err := os.Open(filepath.Join(s.dir, indexJournal))
+	if err != nil {
+		return
+	}
+	defer jf.Close()
+	sc := bufio.NewScanner(jf)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var ie indexEntry
+		if json.Unmarshal(sc.Bytes(), &ie) != nil || ie.SpecHash == "" || ie.Label == "" {
+			return
+		}
+		s.applyEntryLocked(ie)
+	}
+}
+
+// plausibleGroup rejects snapshot groups that could not describe a real
+// spec group — every entry must claim a file that the group lists.
+func plausibleGroup(hash string, g *groupState) bool {
+	if hash == "" || strings.ContainsAny(hash, "/\\") {
+		return false
+	}
+	for file, ie := range g.Entries {
+		if ie.SpecHash == "" || ie.Label == "" || !slices.Contains(g.Files, file) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyEntryLocked folds one saved entry into the in-memory index.
+func (s *Store) applyEntryLocked(ie indexEntry) {
+	g := s.idx.groups[ie.SpecHash]
+	if g == nil {
+		g = &groupState{Entries: map[string]indexEntry{}}
+		s.idx.groups[ie.SpecHash] = g
+	}
+	file := ie.Label + ".json"
+	g.Entries[file] = ie
+	if i, found := slices.BinarySearch(g.Files, file); !found {
+		g.Files = slices.Insert(g.Files, i, file)
+	}
+	g.mtime = time.Time{} // re-verify the group's dirents on the next walk
+	s.idx.sorted = nil
+}
+
+// refreshLocked brings the index up to date with the directory tree. It
+// reads directory metadata only — never an envelope — unless a group's
+// dirent names changed, in which case just that group is re-parsed. On
+// error the index keeps its previous state.
+func (s *Store) refreshLocked() error {
+	if !s.idx.loaded {
+		s.loadIndexLocked()
+		s.idx.loaded = true
+	}
+	dirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			if len(s.idx.groups) > 0 {
+				s.idx.groups = map[string]*groupState{}
+				s.idx.sorted = nil
+			}
+			return nil
+		}
+		return errStore(err)
+	}
+	changed, rebuilt := false, 0
+	onDisk := map[string]bool{}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		name := d.Name()
+		onDisk[name] = true
+		g := s.idx.groups[name]
+		if g == nil {
+			if err := s.syncGroupLocked(name); err != nil {
+				return err
+			}
+			changed, rebuilt = true, rebuilt+1
+			continue
+		}
+		st, err := os.Stat(filepath.Join(s.dir, name))
+		if err != nil {
+			delete(s.idx.groups, name)
+			changed = true
+			continue
+		}
+		mt := st.ModTime()
+		if !g.mtime.IsZero() && g.mtime.Equal(mt) && time.Since(mt) >= racyWindow {
+			continue // proven untouched since last verification
+		}
+		names, err := readNames(filepath.Join(s.dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				delete(s.idx.groups, name)
+				changed = true
+				continue
+			}
+			return errStore(err)
+		}
+		if !slices.Equal(names, g.Files) {
+			if err := s.syncGroupLocked(name); err != nil {
+				return err
+			}
+			changed, rebuilt = true, rebuilt+1
+			continue
+		}
+		if time.Since(mt) >= racyWindow {
+			g.mtime = mt
+		} else {
+			g.mtime = time.Time{}
+		}
+	}
+	for name := range s.idx.groups {
+		if !onDisk[name] {
+			delete(s.idx.groups, name)
+			changed = true
+		}
+	}
+	if changed {
+		s.idx.sorted = nil
+		s.persistIndexLocked()
+	}
+	if rebuilt == 0 {
+		s.metrics.IndexHit()
+	} else {
+		s.metrics.IndexRebuilds(rebuilt)
+	}
+	return nil
+}
+
+// syncGroupLocked re-reads one spec group's directory and parses the
+// metadata of every envelope in it, with the same mutation tolerance the
+// scan-based List always had: vanished files, half-written JSON and
+// foreign documents are skipped; a file that exists and parses but cannot
+// be read at all fails loud so a broken store never shrinks silently.
+func (s *Store) syncGroupLocked(hash string) error {
+	dir := filepath.Join(s.dir, hash)
+	st, err := os.Stat(dir)
+	if err != nil {
+		delete(s.idx.groups, hash)
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return errStore(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		delete(s.idx.groups, hash)
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return errStore(err)
+	}
+	g := &groupState{Entries: map[string]indexEntry{}}
+	for _, f := range files {
+		g.Files = append(g.Files, f.Name())
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		e, err := s.readEntry(filepath.Join(dir, f.Name()))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) || isParseError(err) {
+				continue // vanished or partial file
+			}
+			return err // unreadable store: surface, don't shrink
+		}
+		if e.SpecHash == "" || e.Label == "" {
+			continue // foreign JSON, not a stored run
+		}
+		var size int64
+		if info, err := f.Info(); err == nil {
+			size = info.Size()
+		}
+		g.Entries[f.Name()] = indexEntry{Entry: e, Size: size}
+	}
+	if mt := st.ModTime(); time.Since(mt) >= racyWindow {
+		g.mtime = mt
+	}
+	s.idx.groups[hash] = g
+	return nil
+}
+
+// readNames lists a directory's dirent names (ReadDir returns them
+// sorted, matching groupState.Files order).
+func readNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// snapshotLocked returns the entries in List order (a fresh copy; callers
+// keep it past the lock).
+func (s *Store) snapshotLocked() []Entry {
+	if s.idx.sorted == nil {
+		out := []Entry{}
+		for _, g := range s.idx.groups {
+			for _, ie := range g.Entries {
+				out = append(out, ie.Entry)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Seq != out[j].Seq {
+				return out[i].Seq < out[j].Seq
+			}
+			return out[i].Ref() < out[j].Ref()
+		})
+		s.idx.sorted = out
+	}
+	if len(s.idx.sorted) == 0 {
+		return nil
+	}
+	return append([]Entry(nil), s.idx.sorted...)
+}
+
+// nextSeqLocked returns one past the highest stored sequence number.
+func (s *Store) nextSeqLocked() int {
+	seq := 1
+	for _, g := range s.idx.groups {
+		for _, ie := range g.Entries {
+			if ie.Seq >= seq {
+				seq = ie.Seq + 1
+			}
+		}
+	}
+	return seq
+}
+
+// noteSavedLocked records a just-written envelope in the index and its
+// journal — the transactional half-step that keeps warm restarts exact.
+func (s *Store) noteSavedLocked(ie indexEntry) {
+	s.applyEntryLocked(ie)
+	if data, err := json.Marshal(ie); err == nil {
+		if jf, err := os.OpenFile(filepath.Join(s.dir, indexJournal),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			jf.Write(append(data, '\n'))
+			jf.Close()
+		}
+	}
+}
+
+// persistIndexLocked rewrites the snapshot atomically and truncates the
+// journal it supersedes. Best-effort by design; see the file comment.
+func (s *Store) persistIndexLocked() {
+	data, err := json.Marshal(indexSnapshot{Version: indexVersion, Groups: s.idx.groups})
+	if err != nil {
+		return
+	}
+	tf, err := os.CreateTemp(s.dir, indexFile+".*.tmp")
+	if err != nil {
+		return
+	}
+	tmp := tf.Name()
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	os.Remove(filepath.Join(s.dir, indexJournal))
+}

@@ -6,9 +6,16 @@
 // different revisions line up automatically and `Diff` can report per-cell
 // deltas in rounds, bits, outcome counts and schedule tallies.
 //
-// Layout (everything is plain JSON, safe to inspect and to commit):
+// Layout (every entry is a JSON document, safe to inspect and to commit):
 //
 //	<dir>/<spec-hash>/<label>.json    one stored run (envelope + report)
+//	<dir>/index.json, <dir>/index.log entry-metadata index (cache; see index.go)
+//
+// Inside an envelope the per-cell results travel as a varint-columnar
+// blob ("cells_packed", see codec.go) — an internal format: every read
+// path decodes back to the exact cell structs, so reports round-trip
+// byte-identical through WriteJSON, and envelopes written before the
+// columnar format (a plain "report.cells" array) still load.
 //
 // Labels are caller-chosen ("v1.2-3-gabc123") or auto-assigned sequence
 // numbers ("run-001"); a store-wide monotone sequence recorded in each
@@ -27,6 +34,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/telemetry"
@@ -53,6 +62,9 @@ var (
 	ErrLabeledRuns = errors.New("would remove labeled runs")
 )
 
+// errStore wraps a low-level failure with the package prefix.
+func errStore(err error) error { return fmt.Errorf("resultstore: %w", err) }
+
 // Entry identifies one stored run.
 type Entry struct {
 	// SpecHash groups runs of the same normalized spec.
@@ -60,8 +72,8 @@ type Entry struct {
 	// Label distinguishes runs within a spec group ("run-001", "v2-g3f9a").
 	Label string `json:"label"`
 	// Seq is the store-wide save order; higher is newer. Saves racing from
-	// separate processes can tie (each scans the store for the next number);
-	// List breaks ties deterministically by ref.
+	// separate processes can tie (each derives the next number from what it
+	// sees stored); List breaks ties deterministically by ref.
 	Seq int `json:"seq"`
 	// Name echoes the campaign's name for listings.
 	Name string `json:"name,omitempty"`
@@ -85,21 +97,43 @@ func (e Entry) ETag(variant string) string {
 	return `"` + e.SpecHash + "/" + e.Label + ":" + variant + `"`
 }
 
-// envelope is the on-disk document: the entry plus the full report.
+// envelope is the logical on-disk document: the entry plus the full
+// report. The physical document packs the report's cells through the
+// columnar codec; see write and read.
 type envelope struct {
 	Entry
 	Report *campaign.Report `json:"report"`
 }
 
-// Store is a directory of stored campaign runs.
+// reportHeader is the part of a report that stays plain JSON in a
+// columnar envelope: the spec (diff and filter paths read it without
+// touching cells), the job count and the outcome totals.
+type reportHeader struct {
+	Spec   campaign.Spec   `json:"spec"`
+	Jobs   int             `json:"jobs"`
+	Totals campaign.Totals `json:"totals"`
+}
+
+// envelopeFormat is the current physical envelope version: format 2
+// carries cells in the columnar blob, format 0/absent is the legacy
+// full-JSON report.
+const envelopeFormat = 2
+
+// Store is a directory of stored campaign runs. The exported methods are
+// safe for concurrent use from one process; cross-process concurrency is
+// handled at the filesystem (create-once envelopes, atomic renames) and
+// absorbed by the index's freshness walk.
 type Store struct {
 	dir     string
 	metrics *telemetry.StoreMetrics
+
+	mu  sync.Mutex
+	idx storeIndex
 }
 
-// SetMetrics attaches a telemetry group; saves, report loads, and GC
-// removals are counted into it from then on. A nil group (the default)
-// records nothing.
+// SetMetrics attaches a telemetry group; saves, report loads, GC
+// removals, index traffic and codec bytes are counted into it from then
+// on. A nil group (the default) records nothing.
 func (s *Store) SetMetrics(m *telemetry.StoreMetrics) { s.metrics = m }
 
 // Open returns a Store rooted at dir, creating it if necessary.
@@ -108,7 +142,7 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("resultstore: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("resultstore: %w", err)
+		return nil, errStore(err)
 	}
 	return &Store{dir: dir}, nil
 }
@@ -170,8 +204,9 @@ func validLabel(label string) error {
 // "run-NNN" from the store-wide sequence; a non-empty label that already
 // exists for this spec is an error (stored runs are immutable). Saves
 // racing from separate processes are safe: the final file appears
-// atomically, and an auto-labeled save that loses a run-NNN race rescans
-// and retries with the next number.
+// atomically, and an auto-labeled save that loses a run-NNN race re-syncs
+// the group and retries with the next free number. The sequence number
+// comes from the entry index, not a store rescan.
 func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 	auto := label == ""
 	if !auto {
@@ -186,22 +221,18 @@ func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 	}
 	dir := filepath.Join(s.dir, hash)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		return Entry{}, errStore(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.refreshLocked(); err != nil {
+		return Entry{}, err
 	}
 	for attempt := 0; ; attempt++ {
-		entries, err := s.List()
-		if err != nil {
-			return Entry{}, err
-		}
-		seq := 1
-		for _, e := range entries {
-			if e.Seq >= seq {
-				seq = e.Seq + 1
-			}
-		}
+		seq := s.nextSeqLocked()
 		lbl := label
 		if auto {
-			lbl = fmt.Sprintf("run-%03d", seq)
+			lbl = s.freeAutoLabelLocked(hash, seq)
 		}
 		env := envelope{
 			Entry: Entry{
@@ -210,16 +241,24 @@ func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 			},
 			Report: rep,
 		}
-		entry, err := s.write(dir, env)
+		entry, size, err := s.write(dir, env)
 		if err == nil {
+			s.noteSavedLocked(indexEntry{Entry: entry, Size: size})
 			s.metrics.Ingest()
 			return entry, nil
 		}
 		if os.IsExist(err) {
-			// Another process took this label between our List and Link.
-			// For auto labels, rescan and take the next number; a label the
-			// caller chose is a genuine immutability violation.
-			if auto && attempt < 8 {
+			// Another process took this label between our index view and the
+			// create. For auto labels, fold that process's saves into the
+			// index and take the next free number; a label the caller chose
+			// is a genuine immutability violation.
+			if auto {
+				if attempt >= 8 {
+					return Entry{}, fmt.Errorf("resultstore: %s: lost %d auto-label races in a row; store is under heavy concurrent ingest, retry the save", hash, attempt+1)
+				}
+				if err := s.syncGroupLocked(hash); err != nil {
+					return Entry{}, err
+				}
 				continue
 			}
 			return Entry{}, fmt.Errorf("resultstore: %s/%s: %w (pick a new label)", hash, lbl, ErrLabelTaken)
@@ -228,100 +267,135 @@ func (s *Store) Save(rep *campaign.Report, label string) (Entry, error) {
 	}
 }
 
-// write persists one envelope, creating <dir>/<label>.json atomically.
-// The full document goes to a uniquely named sibling temp file first, then
-// is hard-linked to its final name: the link is atomic (a killed save can
-// never leave a truncated .json that bricks every later List) and fails
-// with os.IsExist when the label is taken, so the filesystem enforces
-// create-once even across processes. List ignores the .tmp suffix, so an
-// orphaned temp file is inert.
-func (s *Store) write(dir string, env envelope) (Entry, error) {
+// freeAutoLabelLocked returns the first free "run-NNN" label for the
+// group, starting at n (the save's sequence number, so label and sequence
+// agree whenever the namespace has no holes). Labels imported from
+// another store can occupy numbers ahead of the local sequence; skipping
+// them here keeps the auto path from colliding forever.
+func (s *Store) freeAutoLabelLocked(hash string, n int) string {
+	g := s.idx.groups[hash]
+	for ; ; n++ {
+		lbl := fmt.Sprintf("run-%03d", n)
+		if g == nil {
+			return lbl
+		}
+		if _, taken := g.Entries[lbl+".json"]; taken {
+			continue
+		}
+		// A non-entry file squatting on the name (foreign debris) would
+		// also fail the exclusive create; skip it too.
+		if _, found := sort.Find(len(g.Files), func(i int) int {
+			return strings.Compare(lbl+".json", g.Files[i])
+		}); found {
+			continue
+		}
+		return lbl
+	}
+}
+
+// osLink is swapped by tests to exercise filesystems where hard links
+// fail (EPERM on some network mounts, ENOTSUP on overlay mounts).
+var osLink = os.Link
+
+// linkUnsupported reports whether a hard-link failure means the
+// filesystem cannot do hard links at all, as opposed to a per-call error.
+func linkUnsupported(err error) bool {
+	return errors.Is(err, syscall.EPERM) || errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP) || errors.Is(err, errors.ErrUnsupported)
+}
+
+// write persists one envelope, creating <dir>/<label>.json atomically in
+// the columnar format. The full document goes to a uniquely named sibling
+// temp file first, then is hard-linked to its final name: the link is
+// atomic (a killed save can never leave a truncated .json that bricks
+// every later List) and fails with os.IsExist when the label is taken, so
+// the filesystem enforces create-once even across processes. On
+// filesystems without hard links the fallback reserves the final name
+// with an exclusive create (same create-once guarantee), then renames the
+// temp file over it (same atomicity — readers of the empty placeholder in
+// the gap see a parse error, which listings already tolerate as
+// in-flight). List ignores the .tmp suffix, so an orphaned temp file is
+// inert either way.
+func (s *Store) write(dir string, env envelope) (Entry, int64, error) {
+	packed := encodeCells(env.Report.Cells)
+	doc := struct {
+		Entry
+		Format      int          `json:"format"`
+		Report      reportHeader `json:"report"`
+		CellsPacked []byte       `json:"cells_packed"`
+	}{
+		Entry:       env.Entry,
+		Format:      envelopeFormat,
+		Report:      reportHeader{Spec: env.Report.Spec, Jobs: env.Report.Jobs, Totals: env.Report.Totals},
+		CellsPacked: packed,
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(env); err != nil {
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+	if err := enc.Encode(doc); err != nil {
+		return Entry{}, 0, errStore(err)
 	}
 	tf, err := os.CreateTemp(dir, env.Label+".*.tmp")
 	if err != nil {
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		return Entry{}, 0, errStore(err)
 	}
 	tmp := tf.Name()
 	defer os.Remove(tmp)
 	if _, err := tf.Write(buf.Bytes()); err != nil {
 		tf.Close()
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		return Entry{}, 0, errStore(err)
 	}
 	if err := tf.Close(); err != nil {
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		return Entry{}, 0, errStore(err)
 	}
-	if err := os.Link(tmp, filepath.Join(dir, env.Label+".json")); err != nil {
+	final := filepath.Join(dir, env.Label+".json")
+	if err := osLink(tmp, final); err != nil {
 		if os.IsExist(err) {
-			return Entry{}, err // Save distinguishes this case for retry
+			return Entry{}, 0, err // Save distinguishes this case for retry
 		}
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		if !linkUnsupported(err) {
+			return Entry{}, 0, errStore(err)
+		}
+		ph, err := os.OpenFile(final, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			if os.IsExist(err) {
+				return Entry{}, 0, err
+			}
+			return Entry{}, 0, errStore(err)
+		}
+		ph.Close()
+		if err := os.Rename(tmp, final); err != nil {
+			os.Remove(final) // release the reserved name
+			return Entry{}, 0, errStore(err)
+		}
 	}
-	return env.Entry, nil
+	s.metrics.CodecEncoded(len(packed))
+	return env.Entry, int64(buf.Len()), nil
 }
 
 // List returns every stored entry, oldest first (by sequence, then by
 // ref for entries predating the sequence).
 //
-// List is a read snapshot of a store that may be mutated underneath it by
-// a concurrent `wbcampaign run -store` or an external sync: files that
-// vanish between the directory scan and the read, in-flight .tmp files,
-// stray non-JSON files and envelopes that do not (yet) parse as complete
-// entries are all skipped rather than failing the whole listing. Writes
-// land atomically (temp file + hard link), so anything skipped is either
+// List answers from the entry index after a freshness walk that reads
+// directory metadata, not envelopes; only groups whose contents actually
+// changed are re-parsed. The result is still a read snapshot of a store
+// that may be mutated underneath it by a concurrent `wbcampaign run
+// -store` or an external sync: files that vanish between walk and read,
+// in-flight .tmp files, stray non-JSON files and envelopes that do not
+// (yet) parse as complete entries are all skipped rather than failing the
+// whole listing. Writes land atomically, so anything skipped is either
 // foreign to the store or about to reappear on the next listing — one bad
 // or half-copied file can never brick every later List, Save or serve.
 // Only those mutation shapes are tolerated: a file that exists and parses
 // but cannot be read (permissions, I/O errors) still fails the listing,
 // so a genuinely broken store stays loud instead of shrinking silently.
 func (s *Store) List() ([]Entry, error) {
-	groups, err := os.ReadDir(s.dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("resultstore: %w", err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.refreshLocked(); err != nil {
+		return nil, err
 	}
-	var out []Entry
-	for _, g := range groups {
-		if !g.IsDir() {
-			continue
-		}
-		files, err := os.ReadDir(filepath.Join(s.dir, g.Name()))
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue // group removed mid-listing
-			}
-			return nil, fmt.Errorf("resultstore: %w", err)
-		}
-		for _, f := range files {
-			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
-				continue
-			}
-			e, err := s.readEntry(filepath.Join(s.dir, g.Name(), f.Name()))
-			if err != nil {
-				if errors.Is(err, os.ErrNotExist) || isParseError(err) {
-					continue // vanished or partial file
-				}
-				return nil, err // unreadable store: surface, don't shrink
-			}
-			if e.SpecHash == "" || e.Label == "" {
-				continue // foreign JSON, not a stored run
-			}
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Seq != out[j].Seq {
-			return out[i].Seq < out[j].Seq
-		}
-		return out[i].Ref() < out[j].Ref()
-	})
-	return out, nil
+	return s.snapshotLocked(), nil
 }
 
 // isParseError reports whether err is a JSON decoding failure — what a
@@ -333,13 +407,12 @@ func isParseError(err error) bool {
 		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
 }
 
-// readEntry parses just the metadata of a stored envelope — List (and so
-// Save's sequence scan) run over every file in the store, and must not pay
-// to materialize every report's cell tree.
+// readEntry parses just the metadata of a stored envelope — what the
+// index keeps per run — without materializing the report's cell tree.
 func (s *Store) readEntry(path string) (Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Entry{}, fmt.Errorf("resultstore: %w", err)
+		return Entry{}, errStore(err)
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
@@ -348,20 +421,32 @@ func (s *Store) readEntry(path string) (Entry, error) {
 	return e, nil
 }
 
-// read parses one stored envelope.
+// read parses one stored envelope, unpacking columnar cells when present
+// and falling back to the legacy full-JSON report when not.
 func (s *Store) read(path string) (*envelope, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("resultstore: %w", err)
+		return nil, errStore(err)
 	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
+	var doc struct {
+		envelope
+		CellsPacked []byte `json:"cells_packed"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("resultstore: parsing %s: %w", path, err)
 	}
-	if env.Report == nil {
+	if doc.Report == nil {
 		return nil, fmt.Errorf("resultstore: %s holds no report", path)
 	}
-	return &env, nil
+	if len(doc.CellsPacked) > 0 {
+		cells, err := decodeCells(doc.CellsPacked)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %s: %w", path, err)
+		}
+		doc.Report.Cells = cells
+		s.metrics.CodecDecoded(len(doc.CellsPacked))
+	}
+	return &doc.envelope, nil
 }
 
 // Load resolves a reference to a stored run and reads its report.
@@ -385,8 +470,9 @@ func (s *Store) Load(ref string) (*campaign.Report, Entry, error) {
 //	<label>          unique label across the whole store
 //	<hash>           the newest run in that spec group
 //
-// Hashes may be abbreviated to any unique prefix of ≥ 4 hex digits.
-// A miss wraps ErrNotFound.
+// Hashes may be abbreviated to any unique prefix of at least 4 hex
+// digits; shorter prefixes are rejected in both hash forms. A miss wraps
+// ErrNotFound.
 func (s *Store) Resolve(ref string) (Entry, error) {
 	entries, err := s.List()
 	if err != nil {
@@ -394,6 +480,9 @@ func (s *Store) Resolve(ref string) (Entry, error) {
 	}
 	var matches []Entry
 	if hash, label, ok := strings.Cut(ref, "/"); ok {
+		if len(hash) < 4 {
+			return Entry{}, fmt.Errorf("resultstore: %w: %q (hash prefix must be at least 4 hex digits)", ErrNotFound, ref)
+		}
 		for _, e := range entries {
 			if e.Label == label && strings.HasPrefix(e.SpecHash, hash) {
 				matches = append(matches, e)
@@ -499,7 +588,7 @@ func (s *Store) LoadEntry(e Entry) (*campaign.Report, error) {
 func (s *Store) LoadSpec(e Entry) (campaign.Spec, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, e.SpecHash, e.Label+".json"))
 	if err != nil {
-		return campaign.Spec{}, fmt.Errorf("resultstore: %w", err)
+		return campaign.Spec{}, errStore(err)
 	}
 	var doc struct {
 		Report struct {
@@ -521,40 +610,24 @@ type Stats struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// Stat sizes the store with the same mutation tolerance as List: files
-// vanishing mid-walk are simply not counted.
+// Stat sizes the store from the entry index, so it counts exactly what
+// List lists: foreign JSON files, debris and half-written envelopes are
+// not reports, and a group holding only debris is not a spec.
 func (s *Store) Stat() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var st Stats
-	groups, err := os.ReadDir(s.dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return st, nil
-		}
-		return st, fmt.Errorf("resultstore: %w", err)
+	if err := s.refreshLocked(); err != nil {
+		return st, err
 	}
-	for _, g := range groups {
-		if !g.IsDir() {
+	for _, g := range s.idx.groups {
+		if len(g.Entries) == 0 {
 			continue
 		}
-		files, err := os.ReadDir(filepath.Join(s.dir, g.Name()))
-		if err != nil {
-			continue
-		}
-		n := 0
-		for _, f := range files {
-			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
-				continue
-			}
-			info, err := f.Info()
-			if err != nil {
-				continue
-			}
-			n++
-			st.Bytes += info.Size()
-		}
-		if n > 0 {
-			st.Specs++
-			st.Reports += n
+		st.Specs++
+		st.Reports += len(g.Entries)
+		for _, ie := range g.Entries {
+			st.Bytes += ie.Size
 		}
 	}
 	return st, nil
@@ -585,8 +658,9 @@ func AutoLabel(label string) bool {
 }
 
 // GC prunes all but the newest keep runs of every spec group, newest by
-// save sequence. Runs under a caller-chosen label ("v1.2-3-gabc123")
-// are pinned: if any would be removed, GC refuses the whole pass with
+// save sequence, updating the entry index transactionally with the
+// removals. Runs under a caller-chosen label ("v1.2-3-gabc123") are
+// pinned: if any would be removed, GC refuses the whole pass with
 // ErrLabeledRuns — naming them — unless force is set. Auto-labeled runs
 // ("run-NNN") are always fair game. Files already gone when removal
 // reaches them (a racing GC) are skipped, not failed.
@@ -594,10 +668,12 @@ func (s *Store) GC(keep int, force bool) (GCResult, error) {
 	if keep < 1 {
 		return GCResult{}, fmt.Errorf("resultstore: gc keep must be ≥ 1, got %d", keep)
 	}
-	entries, err := s.List()
-	if err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.refreshLocked(); err != nil {
 		return GCResult{}, err
 	}
+	entries := s.snapshotLocked()
 	perSpec := map[string]int{}
 	for _, e := range entries {
 		perSpec[e.SpecHash]++
@@ -626,17 +702,38 @@ func (s *Store) GC(keep int, force bool) (GCResult, error) {
 		path := filepath.Join(s.dir, e.SpecHash, e.Label+".json")
 		if err := os.Remove(path); err != nil {
 			if os.IsNotExist(err) {
+				s.dropEntryLocked(e)
 				continue // a racing GC got there first
 			}
-			return res, fmt.Errorf("resultstore: %w", err)
+			s.persistIndexLocked()
+			return res, errStore(err)
 		}
 		res.Removed = append(res.Removed, e)
+		s.dropEntryLocked(e)
 		// Drop the group directory once empty; a non-empty directory (a
 		// racing save, an orphaned temp file) just stays.
-		os.Remove(filepath.Join(s.dir, e.SpecHash))
+		if os.Remove(filepath.Join(s.dir, e.SpecHash)) == nil {
+			delete(s.idx.groups, e.SpecHash)
+		}
 	}
+	s.persistIndexLocked()
 	s.metrics.GCRemoved(len(res.Removed))
 	return res, nil
+}
+
+// dropEntryLocked removes one run from the in-memory index.
+func (s *Store) dropEntryLocked(e Entry) {
+	g := s.idx.groups[e.SpecHash]
+	if g == nil {
+		return
+	}
+	file := e.Label + ".json"
+	delete(g.Entries, file)
+	if i := sort.SearchStrings(g.Files, file); i < len(g.Files) && g.Files[i] == file {
+		g.Files = append(g.Files[:i], g.Files[i+1:]...)
+	}
+	g.mtime = zeroTime // re-verify the group's dirents on the next walk
+	s.idx.sorted = nil
 }
 
 // LatestPair returns the two newest runs that share the spec hash of the

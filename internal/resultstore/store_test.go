@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
 	"repro/internal/campaign"
@@ -529,6 +530,169 @@ func TestAutoLabel(t *testing.T) {
 	} {
 		if got := AutoLabel(label); got != want {
 			t.Errorf("AutoLabel(%q) = %v, want %v", label, got, want)
+		}
+	}
+}
+
+// TestStatCountsOnlyValidEntries pins the Stat/List agreement fix: a
+// foreign or half-written .json planted in a group directory must not
+// inflate the report count the health endpoints expose.
+func TestStatCountsOnlyValidEntries(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	e, err := st.Save(rep, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := filepath.Join(st.Dir(), e.SpecHash)
+	if err := os.WriteFile(filepath.Join(group, "foreign.json"), []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(group, "partial.json"), []byte(`{"spec_hash": "tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A whole group holding nothing but debris is not a spec either.
+	debrisGroup := filepath.Join(st.Dir(), "feedfeedfeed")
+	if err := os.MkdirAll(debrisGroup, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(debrisGroup, "junk.json"), []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reports != len(entries) {
+		t.Errorf("Stat.Reports = %d but List sees %d entries", stats.Reports, len(entries))
+	}
+	if stats.Specs != 1 || stats.Reports != 1 {
+		t.Errorf("Stat = %+v, want 1 spec / 1 report", stats)
+	}
+	if stats.Bytes <= 0 {
+		t.Errorf("Stat.Bytes = %d, want > 0", stats.Bytes)
+	}
+}
+
+// TestSaveAutoLabelRaceExhaustion pins the auto-label error fix: a save
+// that chose no label and loses every run-NNN race must not be told to
+// "pick a new label" it never picked, and must not claim ErrLabelTaken.
+func TestSaveAutoLabelRaceExhaustion(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := osLink
+	osLink = func(oldname, newname string) error {
+		return &os.LinkError{Op: "link", Old: oldname, New: newname, Err: syscall.EEXIST}
+	}
+	t.Cleanup(func() { osLink = orig })
+	_, err = st.Save(runSmoke(t), "")
+	if err == nil {
+		t.Fatal("save succeeded though every link lost its race")
+	}
+	if errors.Is(err, ErrLabelTaken) {
+		t.Errorf("auto-label exhaustion reported as ErrLabelTaken: %v", err)
+	}
+	if strings.Contains(err.Error(), "pick a new label") {
+		t.Errorf("auto-label exhaustion tells the caller to pick a label it never chose: %v", err)
+	}
+	if !strings.Contains(err.Error(), "auto-label") {
+		t.Errorf("auto-label exhaustion does not name the auto-label path: %v", err)
+	}
+}
+
+// TestWriteFallsBackWithoutHardlinks forces the hard-link path to fail
+// the way hardlink-free filesystems do and checks the exclusive-create
+// fallback preserves every write guarantee: saves land and load, and
+// create-once still holds for duplicate labels.
+func TestWriteFallsBackWithoutHardlinks(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := osLink
+	osLink = func(oldname, newname string) error {
+		return &os.LinkError{Op: "link", Old: oldname, New: newname, Err: syscall.ENOTSUP}
+	}
+	t.Cleanup(func() { osLink = orig })
+	rep := runSmoke(t)
+	e, err := st.Save(rep, "tagged")
+	if err != nil {
+		t.Fatalf("save via fallback: %v", err)
+	}
+	loaded, _, err := st.Load(e.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig2, back bytes.Buffer
+	if err := rep.WriteJSON(&orig2); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteJSON(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig2.Bytes(), back.Bytes()) {
+		t.Error("fallback-written report did not round-trip byte-identically")
+	}
+	if _, err := st.Save(rep, "tagged"); !errors.Is(err, ErrLabelTaken) {
+		t.Errorf("duplicate label via fallback: got %v, want ErrLabelTaken", err)
+	}
+	if _, err := st.Save(rep, ""); err != nil {
+		t.Errorf("auto-label save via fallback: %v", err)
+	}
+	// No temp debris left behind in the group directory.
+	files, err := os.ReadDir(filepath.Join(st.Dir(), e.SpecHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".tmp") {
+			t.Errorf("fallback left temp debris %s", f.Name())
+		}
+	}
+}
+
+// TestResolveHashPrefixMinimum pins the uniform ≥4-hex-digit prefix rule
+// across both ref forms; before the fix the <hash>/<label> form matched
+// prefixes of any length.
+func TestResolveHashPrefixMinimum(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSmoke(t)
+	e, err := st.Save(rep, "tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		ref string
+		ok  bool
+	}{
+		{e.SpecHash + "/tagged", true},
+		{e.SpecHash[:6] + "/tagged", true},
+		{e.SpecHash[:4] + "/tagged", true},
+		{e.SpecHash[:3] + "/tagged", false},
+		{e.SpecHash[:1] + "/tagged", false},
+		{e.SpecHash, true},
+		{e.SpecHash[:4], true},
+		{e.SpecHash[:3], false},
+	} {
+		got, err := st.Resolve(tc.ref)
+		if tc.ok {
+			if err != nil || got.Ref() != e.Ref() {
+				t.Errorf("Resolve(%q) = %+v, %v; want %s", tc.ref, got, err, e.Ref())
+			}
+		} else if !errors.Is(err, ErrNotFound) {
+			t.Errorf("Resolve(%q) = %+v, %v; want ErrNotFound", tc.ref, got, err)
 		}
 	}
 }

@@ -6,7 +6,9 @@
 // carries a strong ETag derived from the immutable store key pair, a
 // conditional request with that tag short-circuits to 304 Not Modified
 // without touching a report body, and rendered diffs are kept in an
-// in-memory LRU so repeated comparisons never recompute.
+// in-memory LRU so repeated comparisons never recompute. Listing and
+// stat routes answer from the store's persistent entry index, so their
+// cost tracks the page served, not the number of stored reports.
 //
 // The service also *accepts* work: POST /api/v1/campaigns submits a
 // campaign spec as an asynchronous job, executed in-process on the

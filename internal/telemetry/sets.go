@@ -59,9 +59,13 @@ func NewSet() *Set {
 			workersBusy: r.Gauge("wb_campaign_workers_busy", "Campaign worker goroutines currently executing a job."),
 		},
 		Store: &StoreMetrics{
-			ingests:   r.Counter("wb_store_ingests_total", "Reports saved into the result store."),
-			loads:     r.Counter("wb_store_loads_total", "Report bodies loaded from the result store."),
-			gcRemoved: r.Counter("wb_store_gc_removed_total", "Stored runs removed by garbage collection."),
+			ingests:       r.Counter("wb_store_ingests_total", "Reports saved into the result store."),
+			loads:         r.Counter("wb_store_loads_total", "Report bodies loaded from the result store."),
+			gcRemoved:     r.Counter("wb_store_gc_removed_total", "Stored runs removed by garbage collection."),
+			indexHits:     r.Counter("wb_store_index_hits_total", "Store listings served from the entry index without reparsing any envelope."),
+			indexRebuilds: r.Counter("wb_store_index_rebuilds_total", "Store index group (re)builds: startup scans and staleness reparses."),
+			codecEncoded:  r.Counter("wb_store_codec_encoded_bytes_total", "Bytes of columnar cell payload produced by the store codec."),
+			codecDecoded:  r.Counter("wb_store_codec_decoded_bytes_total", "Bytes of columnar cell payload decoded by the store codec."),
 		},
 		Jobs: &JobMetrics{
 			submitted: r.Counter("wb_jobs_submitted_total", "Campaign jobs submitted over the HTTP job API."),
@@ -210,11 +214,49 @@ func (m *CampaignMetrics) CellDone(seconds float64) {
 	m.cellSeconds.Observe(seconds)
 }
 
-// StoreMetrics instruments the result store.
+// StoreMetrics instruments the result store: save/load/GC traffic, the
+// entry index's hit-vs-rebuild balance, and the columnar cell codec.
 type StoreMetrics struct {
-	ingests   *Counter
-	loads     *Counter
-	gcRemoved *Counter
+	ingests       *Counter
+	loads         *Counter
+	gcRemoved     *Counter
+	indexHits     *Counter
+	indexRebuilds *Counter
+	codecEncoded  *Counter
+	codecDecoded  *Counter
+}
+
+// IndexHit records one listing answered entirely from the entry index.
+func (m *StoreMetrics) IndexHit() {
+	if m == nil {
+		return
+	}
+	m.indexHits.Inc()
+}
+
+// IndexRebuilds records n spec groups whose index entries were rebuilt by
+// rescanning their envelope files.
+func (m *StoreMetrics) IndexRebuilds(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.indexRebuilds.Add(int64(n))
+}
+
+// CodecEncoded records n bytes of columnar cell payload written.
+func (m *StoreMetrics) CodecEncoded(n int) {
+	if m == nil {
+		return
+	}
+	m.codecEncoded.Add(int64(n))
+}
+
+// CodecDecoded records n bytes of columnar cell payload decoded.
+func (m *StoreMetrics) CodecDecoded(n int) {
+	if m == nil {
+		return
+	}
+	m.codecDecoded.Add(int64(n))
 }
 
 // Ingest records one report saved.

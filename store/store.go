@@ -7,7 +7,13 @@
 // A Store is a plain directory of JSON envelopes
 // (<dir>/<spec-hash>/<label>.json), safe to inspect, sync and commit.
 // Stored runs are immutable; saves land atomically, so readers are safe
-// against concurrent writers.
+// against concurrent writers. Inside an envelope the per-cell results are
+// packed in a compact varint-columnar blob, and listings are served from
+// a persistent entry index (<dir>/index.json) — both internal formats
+// behind the unchanged JSON wire surface: every load decodes to the
+// exact report that was saved, and a stale or corrupt index is rebuilt
+// from the envelopes. Export/Import move whole stores as portable
+// JSON-lines archives.
 package store
 
 import (
@@ -17,7 +23,8 @@ import (
 
 // Store is a directory of stored campaign runs. All methods of the
 // underlying store — List, Save, Load, Resolve, GetEntry, LoadEntry,
-// LoadSpec, LatestPair, Stat, GC — are part of the public surface.
+// LoadSpec, LatestPair, Stat, GC, Export, Import — are part of the
+// public surface.
 type Store = internal.Store
 
 // Entry identifies one stored run: spec hash, label, save sequence and
@@ -29,6 +36,10 @@ type Stats = internal.Stats
 
 // GCResult describes what a garbage-collection pass removed and kept.
 type GCResult = internal.GCResult
+
+// ImportResult tallies an Import pass: runs added and runs skipped
+// because their (spec, label) already existed in the destination.
+type ImportResult = internal.ImportResult
 
 // Diff is the cell-by-cell comparison of two stored reports, with text
 // and JSON renderings.
