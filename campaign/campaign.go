@@ -38,7 +38,10 @@ type Spec = internal.Spec
 type Job = internal.Job
 
 // Options tunes campaign execution: worker count plus per-job and
-// per-cell progress hooks. The zero value runs with GOMAXPROCS workers.
+// per-cell progress hooks. OnCell fires in matrix order as the stream
+// emits; OnCellDone fires in completion order the moment a cell's last
+// job retires (the realtime hook the server's SSE event stream is built
+// on). The zero value runs with GOMAXPROCS workers.
 type Options = internal.Options
 
 // Runner executes sweeps; its Stream yields per-cell results and its Run

@@ -27,15 +27,17 @@
 //	wbcampaign -protocols bfs,mis -graphs gnp,tree -sizes 8,16 -seeds 5
 //
 // -remote submits the spec to a wbserve job endpoint (POST
-// /api/v1/campaigns), polls the job's cells-done progress, and exits
-// when the report is stored server-side — byte-identical to a local run
-// of the same spec. diff exits 0 when the reports agree (including the
+// /api/v1/campaigns), follows the job's per-cell SSE stream (falling back
+// to status polling against older servers), and exits when the report is
+// stored server-side — byte-identical to a local run of the same spec.
+// An interrupt (^C) mid-run cancels the job server-side and exits 1. diff exits 0 when the reports agree (including the
 // nothing-to-compare case of a store holding fewer than two runs of a
 // spec), 1 when any cell differs, 2 on errors — fit for CI regression
 // gates. gc refuses to remove caller-labeled runs unless -force is set.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -46,6 +48,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -234,7 +237,11 @@ func runCmd(args []string) {
 	}
 
 	if *remote != "" {
-		if err := runRemote(*remote, spec, *label, *quiet, *out, *csvPath, *traceOut); err != nil {
+		// ^C during a remote run must not abandon the job server-side: the
+		// context cancels the stream/poll and runRemote POSTs a cancel.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runRemote(ctx, *remote, spec, *label, *quiet, *out, *csvPath, *traceOut); err != nil {
 			fail(err)
 		}
 		return
@@ -555,10 +562,13 @@ type remoteJob struct {
 }
 
 // runRemote executes a campaign on a wbserve instance through the v1 job
-// API: submit the spec, poll the job's cells-done progress until it
-// reaches a terminal state, and optionally download the stored report —
-// byte-identical to a local run — into -out/-csv.
-func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath, tracePath string) error {
+// API: submit the spec, follow the job's per-cell SSE stream (polling the
+// status route instead against servers that predate it) to a terminal
+// state, and optionally download the stored report — byte-identical to a
+// local run — into -out/-csv. Cancelling ctx (the CLI wires SIGINT to it)
+// cancels the job server-side before returning, so an interrupted run
+// does not leave the server's worker pool grinding on abandoned work.
+func runRemote(ctx context.Context, baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath, tracePath string) error {
 	base := strings.TrimSuffix(baseURL, "/")
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -569,7 +579,12 @@ func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out
 		target += "?label=" + url.QueryEscape(label)
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
 	}
@@ -588,11 +603,26 @@ func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out
 		fmt.Fprintf(os.Stderr, "submitted %s to %s (%d cells)\n", job.ID, base, job.CellsTotal)
 	}
 
+	streamed, err := streamRemoteProgress(ctx, base, &job, quiet)
+	if err != nil {
+		return cancelRemoteJob(base, job.ID, err)
+	}
 	statusURL := base + "/api/v1/campaigns/" + job.ID
-	for job.State == "running" {
-		time.Sleep(150 * time.Millisecond)
-		resp, err := client.Get(statusURL)
+	for !streamed && job.State == "running" {
+		select {
+		case <-ctx.Done():
+			return cancelRemoteJob(base, job.ID, ctx.Err())
+		case <-time.After(150 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, statusURL, nil)
 		if err != nil {
+			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cancelRemoteJob(base, job.ID, ctx.Err())
+			}
 			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
 		}
 		data, err := readBody(resp)
@@ -639,6 +669,95 @@ func runRemote(baseURL string, spec campaign.Spec, label string, quiet bool, out
 		}
 	}
 	return nil
+}
+
+// streamRemoteProgress follows the job's SSE events route, advancing the
+// progress line per completed cell and decoding the terminal `state`
+// frame into job. It reports streamed=false — meaning fall back to status
+// polling — when the server predates the route or the stream breaks
+// before the terminal frame; the switch is lossless because polling reads
+// the authoritative status document, not stream deltas. The only error it
+// returns is ctx's, so a SIGINT mid-stream surfaces as a cancellation.
+func streamRemoteProgress(ctx context.Context, base string, job *remoteJob, quiet bool) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/api/v1/campaigns/"+job.ID+"/events", nil)
+	if err != nil {
+		return false, nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// A fresh client without an overall timeout: the stream lives as long
+	// as the job, which a 30 s deadline would cut off mid-run.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	done := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line dispatches the buffered frame
+			switch event {
+			case "cell":
+				var cr struct {
+					Total int `json:"total"`
+				}
+				if json.Unmarshal([]byte(data), &cr) == nil {
+					done++
+					if !quiet {
+						fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, cr.Total)
+					}
+				}
+			case "state":
+				if json.Unmarshal([]byte(data), job) != nil {
+					return false, nil // unreadable terminal frame: re-read via polling
+				}
+				return true, nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[len("data:"):])
+			// id:, retry: and comment lines pass through: reconnect cursors
+			// matter to EventSource clients; our recovery path is polling.
+		}
+	}
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return false, nil // evicted or connection lost before the terminal frame
+}
+
+// cancelRemoteJob handles an interrupted remote run: without the cancel
+// POST, ^C would leave the job burning the server's worker pool. It uses
+// a fresh context — the interrupted one is already dead — and always
+// returns a non-nil error so the process exits non-zero.
+func cancelRemoteJob(base, id string, cause error) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post(base+"/api/v1/campaigns/"+id+"/cancel", "", nil)
+	if err != nil {
+		return fmt.Errorf("remote: %v; canceling job %s failed: %w", cause, id, err)
+	}
+	data, _ := readBody(resp)
+	// The cancel route answers 202 Accepted (cancellation is async), so
+	// any 2xx means the server took the request.
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("remote: %v; canceling job %s: %s: %s",
+			cause, id, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return fmt.Errorf("remote: interrupted (%v); canceled job %s server-side", cause, id)
 }
 
 // writeTrace dumps a local run's span tree in the same shape the server's

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/campaign"
@@ -240,10 +244,10 @@ func TestRunRemoteErrors(t *testing.T) {
 	defer ts.Close()
 	spec := campaign.Spec{Protocols: []string{"build-forest"}, Graphs: []string{"path"},
 		Adversaries: []string{"min"}, Sizes: []int{4}}
-	if err := runRemote(ts.URL, spec, "", true, "", "", ""); err == nil || !strings.Contains(err.Error(), "403") {
+	if err := runRemote(context.Background(), ts.URL, spec, "", true, "", "", ""); err == nil || !strings.Contains(err.Error(), "403") {
 		t.Errorf("read-only remote run: %v, want 403 error", err)
 	}
-	if err := runRemote("http://127.0.0.1:1", spec, "", true, "", "", ""); err == nil {
+	if err := runRemote(context.Background(), "http://127.0.0.1:1", spec, "", true, "", "", ""); err == nil {
 		t.Error("unreachable remote did not error")
 	}
 }
@@ -266,7 +270,7 @@ func TestRemoteDownloadsReport(t *testing.T) {
 	outDir := t.TempDir()
 	outJSON := filepath.Join(outDir, "rep.json")
 	outCSV := filepath.Join(outDir, "rep.csv")
-	if err := runRemote(ts.URL, spec, "dl", true, outJSON, outCSV, ""); err != nil {
+	if err := runRemote(context.Background(), ts.URL, spec, "dl", true, outJSON, outCSV, ""); err != nil {
 		t.Fatal(err)
 	}
 	want, err := campaign.Run(spec, campaign.Options{Workers: 1})
@@ -381,5 +385,105 @@ func TestExportImportCmd(t *testing.T) {
 	}
 	if len(entries) != 2 {
 		t.Fatalf("re-import grew the store to %d entries", len(entries))
+	}
+}
+
+// TestRemoteStreamsThenFallsBack pins the two progress transports: a
+// current server is followed over SSE, and a server without the events
+// route (pre-realtime wbserve) degrades to status polling with the same
+// stored result.
+func TestRemoteStreamsThenFallsBack(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Stores: []*store.Store{st}, JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eventsHits atomic.Int64
+	older := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// An older server has no events route at all.
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			eventsHits.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(older)
+	defer ts.Close()
+	spec := campaign.Spec{Name: "fallback", Protocols: []string{"build-forest"},
+		Graphs: []string{"path"}, Adversaries: []string{"min"}, Sizes: []int{4, 5}}
+	if err := runRemote(context.Background(), ts.URL, spec, "polled", true, "", "", ""); err != nil {
+		t.Fatalf("remote run against a server without SSE: %v", err)
+	}
+	if eventsHits.Load() == 0 {
+		t.Error("the client never tried the events route before falling back")
+	}
+	if _, err := st.GetEntry(store.SpecHash(spec), "polled"); err != nil {
+		t.Errorf("fallback run not stored: %v", err)
+	}
+
+	// Against the real handler, the stream path completes end to end too.
+	full := httptest.NewServer(srv.Handler())
+	defer full.Close()
+	if err := runRemote(context.Background(), full.URL, spec, "streamed", true, "", "", ""); err != nil {
+		t.Fatalf("remote run over SSE: %v", err)
+	}
+	if _, err := st.GetEntry(store.SpecHash(spec), "streamed"); err != nil {
+		t.Errorf("streamed run not stored: %v", err)
+	}
+}
+
+// TestRemoteInterruptCancelsJob is the regression for ^C abandoning the
+// job server-side: when the run context is canceled mid-stream, the
+// client POSTs /cancel and returns a non-nil (non-zero exit) error. The
+// server here is a stub whose job never finishes — exactly the situation
+// an interrupted poll loop used to leave burning.
+func TestRemoteInterruptCancelsJob(t *testing.T) {
+	var canceled atomic.Bool
+	streaming := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, `{"id":"job-7","state":"running","cells_total":2,"jobs_total":2}`)
+	})
+	mux.HandleFunc("GET /api/v1/campaigns/job-7/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, ": held open\n\n")
+		w.(http.Flusher).Flush()
+		close(streaming)
+		<-r.Context().Done() // the job "runs" until the client goes away
+	})
+	mux.HandleFunc("GET /api/v1/campaigns/job-7", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"id":"job-7","state":"running","cells_total":2,"jobs_total":2}`)
+	})
+	mux.HandleFunc("POST /api/v1/campaigns/job-7/cancel", func(w http.ResponseWriter, r *http.Request) {
+		canceled.Store(true)
+		// The real server answers 202 Accepted (cancellation is async);
+		// the client must treat any 2xx as the cancel having landed.
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, `{"id":"job-7","state":"canceled"}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-streaming // the moment the stream is live, deliver the "signal"
+		cancel()
+	}()
+	spec := campaign.Spec{Protocols: []string{"build-forest"}, Graphs: []string{"path"},
+		Adversaries: []string{"min"}, Sizes: []int{4}}
+	err := runRemote(ctx, ts.URL, spec, "", true, "", "", "")
+	if err == nil {
+		t.Fatal("interrupted remote run returned nil; the CLI would exit 0")
+	}
+	if !strings.Contains(err.Error(), "canceled job job-7 server-side") {
+		t.Errorf("error does not record the server-side cancel: %v", err)
+	}
+	if !canceled.Load() {
+		t.Error("client never POSTed /cancel; the job would burn on server-side")
 	}
 }

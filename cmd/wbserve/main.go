@@ -16,7 +16,11 @@
 // /api/v1/reports/{hash}/{label} (JSON or CSV), GET /api/v1/diff (text
 // or JSON, cached), POST /api/v1/reports (ingest; see `wbcampaign run
 // -push`), POST/GET /api/v1/campaigns (+/{id}, /{id}/cancel — see
-// `wbcampaign run -remote`), GET /api/v1/trace/{id} (span tree of a
+// `wbcampaign run -remote`), GET /api/v1/campaigns/{id}/events (SSE
+// stream of per-cell results as they complete; Last-Event-ID resumes,
+// late subscribers replay, slow consumers are evicted rather than
+// stalling the sweep), GET /watch/{id} (embedded live-sweep page over
+// that stream), GET /api/v1/trace/{id} (span tree of a
 // job), GET /healthz, GET /metricsz (JSON), GET /metrics (Prometheus
 // text). Structured request and job logs go to stderr (-log-level,
 // -log-format), and -debug-addr serves net/http/pprof on a separate

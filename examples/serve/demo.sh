@@ -56,6 +56,16 @@ go run ./cmd/wbcampaign run -spec examples/campaigns/smoke.json \
 curl -fsS "http://$ADDR/api/v1/campaigns"
 curl -fsS "http://$ADDR/api/v1/reports?label=demo-job"
 
+echo "== realtime: the job's per-cell SSE stream (watch it live at /watch/{id}) =="
+JOB=$(curl -fsS -X POST --data-binary @examples/campaigns/smoke.json \
+	"http://$ADDR/api/v1/campaigns?label=demo-live" \
+	| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+echo "-- following job $JOB; a browser at http://$ADDR/watch/$JOB sees the same sweep --"
+# -N streams frames as cells complete; the terminal state frame ends it.
+curl -fsSN "http://$ADDR/api/v1/campaigns/$JOB/events" | head -40
+echo "-- reconnecting with Last-Event-ID replays only what was missed --"
+curl -fsSN -H 'Last-Event-ID: 1' "http://$ADDR/api/v1/campaigns/$JOB/events" | head -12
+
 echo "== listings paginate for stores beyond memory scale =="
 curl -fsSD "$DIR/hpage" "http://$ADDR/api/v1/reports?limit=2" >/dev/null
 grep -i '^link' "$DIR/hpage"
@@ -77,4 +87,4 @@ echo "== request counters, cache hit rate and job counts =="
 curl -fsS "http://$ADDR/metricsz"
 
 echo "== the same registry, in Prometheus text form =="
-curl -fsS "http://$ADDR/metrics" | grep -E '^wb_(jobs|campaign)' | head -12
+curl -fsS "http://$ADDR/metrics" | grep -E '^wb_(jobs|sse)'

@@ -30,6 +30,15 @@ type Options struct {
 	// from the goroutine driving the run. It fires for both Run and Stream,
 	// so a caller that drains Run can still render incremental progress.
 	OnCell func(CellResult)
+	// OnCellDone, if set, is called once per cell the moment its last job
+	// completes — from the completing worker's goroutine, so calls arrive in
+	// completion order (not matrix order) and may be concurrent across
+	// cells; the hook must be safe for concurrent use. The CellResult is
+	// identical to the one OnCell later delivers at the same Index, so a
+	// realtime consumer (e.g. an event stream) and the matrix-order report
+	// can never disagree. A canceled sweep may have fired OnCellDone for
+	// cells the stream never yields.
+	OnCellDone func(CellResult)
 	// Metrics, when non-nil, receives worker occupancy, per-job counts, a
 	// per-cell wall-time histogram, and (through its engine group) the
 	// engine's run/exploration totals. telemetry.Nop disables all of it.
@@ -37,17 +46,19 @@ type Options struct {
 }
 
 // CellResult is one completed cell of a streaming sweep: the fully
-// aggregated cell plus its coordinates in the spec's matrix order.
+// aggregated cell plus its coordinates in the spec's matrix order. The
+// JSON tags are its wire shape on the server's per-cell event stream,
+// where index/total are the consumer's matrix-position cursor.
 type CellResult struct {
 	// Index is the cell's position in matrix order (protocol → graph →
 	// size → adversary → model), 0-based; Total is the sweep's cell count.
-	Index int
-	Total int
+	Index int `json:"index"`
+	Total int `json:"total"`
 	// Jobs is the number of jobs (trials) aggregated into this cell.
-	Jobs int
+	Jobs int `json:"jobs"`
 	// Cell carries the aggregated statistics, identical to the cell the
 	// whole-report Run would emit at this index.
-	Cell Cell
+	Cell Cell `json:"cell"`
 }
 
 // Runner executes campaign sweeps. The zero value is ready to use; NewRunner
@@ -213,9 +224,12 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 		}
 		remaining[c].Store(int64(cellEnd[c] - startIdx))
 	}
-	// completed buffers every cell index, so workers never block on the
-	// consumer: a slow reader cannot stall the pool.
-	completed := make(chan int, numCells)
+	// completed buffers every finished cell, so workers never block on the
+	// consumer: a slow reader cannot stall the pool. The worker that retires
+	// a cell's last job aggregates it (results for the whole cell are
+	// visible through the atomic remaining-counter chain) and fires
+	// OnCellDone before handing it over for matrix-order emission.
+	completed := make(chan CellResult, numCells)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -267,13 +281,24 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 					progressMu.Unlock()
 				}
 				if remaining[jobs[i].Cell].Add(-1) == 0 {
-					completed <- jobs[i].Cell
+					c := jobs[i].Cell
+					startIdx := 0
+					if c > 0 {
+						startIdx = cellEnd[c-1]
+					}
+					cell := aggregateCell(spec, jobs[startIdx:cellEnd[c]], results[startIdx:cellEnd[c]])
+					cr := CellResult{Index: c, Total: numCells, Jobs: cellEnd[c] - startIdx, Cell: cell}
+					if r.opts.OnCellDone != nil {
+						r.opts.OnCellDone(cr)
+					}
+					completed <- cr
 				}
 			}
 		}(w)
 	}
 
 	cells := make([]Cell, 0, numCells)
+	pending := make([]CellResult, numCells)
 	ready := make([]bool, numCells)
 	emit := 0
 	for emit < numCells {
@@ -286,17 +311,16 @@ func (r *Runner) stream(ctx context.Context, spec Spec, yield func(CellResult) b
 				emit, numCells, context.Cause(ctx))
 		}
 		select {
-		case c := <-completed:
-			ready[c] = true
+		case done := <-completed:
+			pending[done.Index], ready[done.Index] = done, true
 			for emit < numCells && ready[emit] {
 				startIdx := 0
 				if emit > 0 {
 					startIdx = cellEnd[emit-1]
 				}
-				cell := aggregateCell(spec, jobs[startIdx:cellEnd[emit]], results[startIdx:cellEnd[emit]])
-				cr := CellResult{Index: emit, Total: numCells, Jobs: cellEnd[emit] - startIdx, Cell: cell}
-				recordCell(ctx, r.opts.Metrics, emit, cell, results[startIdx:cellEnd[emit]])
-				cells = append(cells, cell)
+				cr := pending[emit]
+				recordCell(ctx, r.opts.Metrics, emit, cr.Cell, results[startIdx:cellEnd[emit]])
+				cells = append(cells, cr.Cell)
 				emit++
 				if r.opts.OnCell != nil {
 					r.opts.OnCell(cr)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -151,6 +152,39 @@ func TestStreamErrors(t *testing.T) {
 	_, err := r.Run(ctx, streamSpec())
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-canceled ctx: err = %v", err)
+	}
+}
+
+// TestOnCellDoneHook pins the realtime hook's contract: OnCellDone fires
+// exactly once per cell — in completion order, possibly concurrently —
+// and delivers the very CellResult OnCell later emits at the same index,
+// so a realtime consumer and the matrix-order report can never disagree.
+func TestOnCellDoneHook(t *testing.T) {
+	var mu sync.Mutex
+	byIndex := map[int]CellResult{}
+	opts := Options{Workers: 4, OnCellDone: func(cr CellResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := byIndex[cr.Index]; dup {
+			t.Errorf("OnCellDone fired twice for cell %d", cr.Index)
+		}
+		byIndex[cr.Index] = cr
+	}}
+	rep, err := NewRunner(opts).Run(context.Background(), streamSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byIndex) != len(rep.Cells) {
+		t.Fatalf("OnCellDone fired for %d cells, want %d", len(byIndex), len(rep.Cells))
+	}
+	for i := range rep.Cells {
+		cr, ok := byIndex[i]
+		if !ok {
+			t.Fatalf("OnCellDone never fired for cell %d", i)
+		}
+		if cr.Total != len(rep.Cells) || !reflect.DeepEqual(cr.Cell, rep.Cells[i]) {
+			t.Errorf("OnCellDone cell %d differs from the report's cell", i)
+		}
 	}
 }
 

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// hub.go is the fan-out core of the realtime result surface: one eventHub
+// per submitted job multiplexes the runner's per-cell completions to any
+// number of SSE subscribers. The design follows three rules:
+//
+//  1. Render once, broadcast bytes. A cell result is serialized into its
+//     SSE frame exactly once, at publish time; every subscriber — and
+//     every later replay — receives the same byte slice. Fan-out cost is
+//     one channel send per subscriber, never a re-marshal.
+//  2. The runner never blocks. Subscribers receive through a bounded
+//     queue; a consumer whose queue is full at publish time is evicted
+//     (its channel closed, the drop counted in wb_sse_dropped_events_total)
+//     rather than back-pressuring the worker pool. An evicted client that
+//     reconnects with Last-Event-ID resumes losslessly from the replay
+//     buffer.
+//  3. Late subscribers replay. Every published frame stays in the hub's
+//     append-only log, so a subscriber attaching mid-sweep (or after a
+//     resume cursor) is pre-loaded with everything it missed before going
+//     live. Event IDs are 1-based positions in that log, which is what
+//     makes Last-Event-ID a plain integer cursor.
+type eventHub struct {
+	tel *telemetry.SSEMetrics
+
+	mu     sync.Mutex
+	frames [][]byte // rendered SSE frames; event id N is frames[N-1]
+	closed bool
+	subs   map[*hubSub]struct{}
+}
+
+// subscriberBuffer is each subscriber's live-queue capacity beyond its
+// replay: a consumer that falls this many events behind the broadcast is
+// evicted. Cells complete at simulation speed, so a healthy consumer —
+// even over a slow link — drains far faster than the hub publishes.
+const subscriberBuffer = 64
+
+// hubSub is one subscription: a buffered frame queue the handler drains.
+// The channel closes when the job reaches a terminal state (after the
+// final frame) or when the subscriber is evicted for falling behind.
+type hubSub struct {
+	ch chan []byte
+}
+
+func newEventHub(tel *telemetry.SSEMetrics) *eventHub {
+	return &eventHub{tel: tel, subs: make(map[*hubSub]struct{})}
+}
+
+// publish renders one event into an SSE frame, appends it to the replay
+// log and broadcasts it. Subscribers whose queues are full are evicted on
+// the spot; the hub never waits for a consumer. data must be a single
+// line (compact JSON) — a bare newline would split the data: field.
+func (h *eventHub) publish(event string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	id := len(h.frames) + 1
+	frame := []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", id, event, data))
+	h.frames = append(h.frames, frame)
+	h.tel.EventPublished()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			// Slow consumer: cut it loose rather than stall the runner. The
+			// closed channel ends its response; a client that reconnects
+			// with Last-Event-ID picks up from the replay log unharmed.
+			delete(h.subs, sub)
+			close(sub.ch)
+			h.tel.DroppedEvent()
+			h.tel.Evicted()
+			h.tel.SubscriberAdd(-1)
+		}
+	}
+}
+
+// close ends the stream: every live subscriber's channel is closed after
+// the frames already queued, and future subscribers get replay-then-EOF.
+// The replay log stays, so resume and late attachment keep working for
+// as long as the job record itself is retained.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		h.tel.SubscriberAdd(-1)
+	}
+	h.subs = nil
+}
+
+// subscribe attaches a consumer, pre-loading every frame after the
+// `after` cursor (0 = from the beginning; a Last-Event-ID resumes with
+// after = last seen id). The returned channel carries the replay first,
+// then live frames; it closes at end of stream or on eviction.
+func (h *eventHub) subscribe(after int) *hubSub {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if after > len(h.frames) {
+		after = len(h.frames)
+	}
+	replay := h.frames[after:]
+	sub := &hubSub{ch: make(chan []byte, len(replay)+subscriberBuffer)}
+	for _, f := range replay {
+		sub.ch <- f
+	}
+	if h.closed {
+		close(sub.ch)
+		return sub
+	}
+	h.subs[sub] = struct{}{}
+	h.tel.SubscriberAdd(1)
+	return sub
+}
+
+// unsubscribe detaches a consumer (client gone); safe to call after the
+// hub closed or evicted it.
+func (h *eventHub) unsubscribe(sub *hubSub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.tel.SubscriberAdd(-1)
+	}
+}

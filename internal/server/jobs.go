@@ -34,6 +34,7 @@ type campaignJob struct {
 	label    string
 	cancel   context.CancelFunc
 	done     chan struct{} // closed when the runner goroutine exits
+	events   *eventHub     // realtime per-cell result stream (SSE fan-out)
 
 	mu         sync.Mutex
 	state      string
@@ -112,8 +113,10 @@ type jobManager struct {
 	next     int
 	draining bool // set by shutdown; no further submissions
 
-	// testHookCell, when set by tests, runs inside the per-cell progress
-	// hook — a deterministic window into a mid-sweep job.
+	// testHookCell, when set by tests, runs inside the per-cell completion
+	// hook (OnCellDone, on the completing worker's goroutine) — a
+	// deterministic window into a mid-sweep job, including forcing
+	// out-of-order cell completion.
 	testHookCell func(j *campaignJob, cr campaign.CellResult)
 }
 
@@ -210,6 +213,7 @@ func (m *jobManager) submit(spec campaign.Spec, label string) *campaignJob {
 		specHash:   resultstore.SpecHash(spec),
 		label:      label,
 		done:       make(chan struct{}),
+		events:     newEventHub(m.tel.SSE),
 		state:      jobRunning,
 		cellsTotal: spec.NumCells(),
 		jobsTotal:  spec.NumCells() * spec.Seeds,
@@ -248,13 +252,21 @@ func (m *jobManager) run(j *campaignJob, ctx context.Context) {
 			j.jobsDone = done
 			j.mu.Unlock()
 		},
-		OnCell: func(cr campaign.CellResult) {
+		OnCellDone: func(cr campaign.CellResult) {
 			if m.testHookCell != nil {
 				m.testHookCell(j, cr)
 			}
+			// Cells complete out of matrix order under a parallel pool, so
+			// progress counts completions; deriving it from the cell's index
+			// (cr.Index+1) would let cells_done move backwards when a
+			// later-indexed cell finishes first.
 			j.mu.Lock()
-			j.cellsDone = cr.Index + 1
+			j.cellsDone++
 			j.mu.Unlock()
+			// One render feeds every subscriber; the hub broadcasts bytes.
+			if data, err := json.Marshal(cr); err == nil {
+				j.events.publish(sseEventCell, data)
+			}
 		},
 	}
 	rep, err := campaign.NewRunner(opts).Run(ctx, j.spec)
@@ -279,6 +291,12 @@ func (m *jobManager) run(j *campaignJob, ctx context.Context) {
 	j.mu.Lock()
 	j.state, j.errMsg, j.ref = state, errMsg, ref
 	j.mu.Unlock()
+	// The terminal status document is the stream's last frame; after it,
+	// subscriber channels close and late subscribers replay-then-EOF.
+	if data, err := json.Marshal(j.status()); err == nil {
+		j.events.publish(sseEventState, data)
+	}
+	j.events.close()
 	m.tel.Jobs.Finished(state)
 	m.logger.Info("job finished",
 		"job", j.id, "state", state, "ref", ref,
@@ -451,6 +469,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.jobs.list()
 	if state := r.URL.Query().Get("state"); state != "" {
+		// An unknown state (say, the typo "runnning") used to filter to an
+		// empty list — indistinguishable from "no such jobs". Reject it.
+		switch state {
+		case jobRunning, jobDone, jobFailed, jobCanceled:
+		default:
+			s.error(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown state %q (want running, done, failed or canceled)", state))
+			return
+		}
 		filtered := jobs[:0]
 		for _, st := range jobs {
 			if st.State == state {

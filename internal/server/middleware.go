@@ -56,6 +56,23 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the SSE
+// events route) can push frames through the middleware as they happen;
+// without it the wrapper hides the underlying http.Flusher and events
+// only arrive when the handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach interfaces this wrapper does
+// not forward explicitly.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps the route mux with the full observability stack:
 // request-ID assignment, the in-flight gauge, per-route request counts and
 // latency histograms (keyed by http.Request.Pattern, so new routes are

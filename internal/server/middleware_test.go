@@ -1,0 +1,85 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatusWriterForwardsFlush is the regression for the middleware
+// swallowing http.Flusher: the wrapper must satisfy the interface and
+// forward the call, or every streaming handler behind instrument is
+// silently buffered until it returns.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var flusher http.Flusher = sw // the old wrapper failed this assertion
+	flusher.Flush()
+	if !rec.Flushed {
+		t.Error("Flush was not forwarded to the underlying writer")
+	}
+	if sw.status != http.StatusOK {
+		t.Errorf("flushing an unwritten response recorded status %d, want implicit 200", sw.status)
+	}
+	// http.ResponseController reaches the underlying writer through Unwrap.
+	if http.NewResponseController(sw).Flush() != nil {
+		t.Error("ResponseController cannot flush through the wrapper")
+	}
+}
+
+// TestInstrumentStreamsBeforeHandlerReturns pins the observable contract
+// over the real network stack: a handler behind the full middleware
+// chain writes one line and flushes, and the client reads it while the
+// handler is still running.
+func TestInstrumentStreamsBeforeHandlerReturns(t *testing.T) {
+	f := newFixture(t, Options{})
+	release := make(chan struct{})
+	returned := make(chan struct{})
+	streaming := f.srv.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer close(returned)
+		io.WriteString(w, "first\n")
+		w.(http.Flusher).Flush()
+		<-release
+		io.WriteString(w, "second\n")
+	}))
+	ts := httptest.NewServer(streaming)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	type readResult struct {
+		line string
+		err  error
+	}
+	got := make(chan readResult, 1)
+	go func() {
+		n, err := resp.Body.Read(buf)
+		got <- readResult{string(buf[:n]), err}
+	}()
+	select {
+	case r := <-got:
+		if r.err != nil || r.line != "first\n" {
+			t.Fatalf("first read = %q, %v", r.line, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flushed line did not reach the client before the handler returned")
+	}
+	select {
+	case <-returned:
+		t.Fatal("handler already returned: the early read proved nothing")
+	default:
+	}
+	close(release)
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil || !strings.Contains(string(rest), "second") {
+		t.Fatalf("rest of stream = %q, %v", rest, err)
+	}
+	<-returned
+}

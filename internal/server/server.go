@@ -28,6 +28,10 @@
 //	POST /api/v1/campaigns?label=L          submit a campaign spec; 202 + job id
 //	GET  /api/v1/campaigns                  list jobs; ?state= filter
 //	GET  /api/v1/campaigns/{id}             job status: cells done/total, ref when done
+//	GET  /api/v1/campaigns/{id}/events      SSE stream of per-cell results as they
+//	                                        complete; Last-Event-ID resumes, late
+//	                                        subscribers replay completed cells
+//	GET  /watch/{id}                        embedded live-sweep page over the stream
 //	POST /api/v1/campaigns/{id}/cancel      cancel a running job
 //	GET  /healthz                           liveness (cheap, no store scan)
 //	GET  /metricsz                          request counts, cache hit rate, store
@@ -147,6 +151,8 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleJobList)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleJobStatus)
 	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /watch/{id}", s.handleWatch)
 	mux.HandleFunc("GET /api/v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
@@ -159,6 +165,8 @@ func New(opts Options) (*Server, error) {
 	mux.Handle("/api/v1/campaigns", s.methodNotAllowed("GET, POST"))
 	mux.Handle("/api/v1/campaigns/{id}", s.methodNotAllowed("GET"))
 	mux.Handle("/api/v1/campaigns/{id}/cancel", s.methodNotAllowed("POST"))
+	mux.Handle("/api/v1/campaigns/{id}/events", s.methodNotAllowed("GET"))
+	mux.Handle("/watch/{id}", s.methodNotAllowed("GET"))
 	mux.Handle("/api/v1/trace/{id}", s.methodNotAllowed("GET"))
 	mux.Handle("/healthz", s.methodNotAllowed("GET"))
 	mux.Handle("/metricsz", s.methodNotAllowed("GET"))

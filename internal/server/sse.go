@@ -1,0 +1,106 @@
+package server
+
+import (
+	_ "embed"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// sse.go is the HTTP face of the realtime result surface: GET
+// /api/v1/campaigns/{id}/events streams a job's per-cell results as
+// Server-Sent Events, and GET /watch/{id} serves a tiny embedded page
+// that renders the stream live.
+//
+// Stream contract:
+//
+//   - `event: cell` frames carry one completed cell as compact JSON —
+//     the campaign CellResult, whose index/total fields are the cell's
+//     matrix-position cursor. Cells arrive in completion order, which
+//     with more than one worker is not matrix order; consumers that want
+//     report order sort by the cursor.
+//   - the final frame is `event: state` with the job's terminal status
+//     document (the same JSON the status route serves), after which the
+//     stream ends.
+//   - every frame carries `id: N`, its 1-based position in the job's
+//     event log. A client that reconnects with `Last-Event-ID: N`
+//     resumes after N; a client without one replays from the start.
+//     Subscribers attaching after the job finished get the full replay
+//     and the terminal frame immediately.
+//   - a consumer that falls subscriberBuffer events behind is evicted —
+//     its response ends mid-stream — instead of stalling the runner;
+//     reconnecting with Last-Event-ID loses nothing.
+//
+// SSE event names: per-cell results and the terminal status frame.
+const (
+	sseEventCell  = "cell"
+	sseEventState = "state"
+)
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		// Cannot happen behind net/http (its ResponseWriter always flushes),
+		// but an embedder's middleware might swallow the interface.
+		s.error(w, http.StatusInternalServerError, "streaming unsupported: response writer cannot flush")
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		// A cursor we did not issue (garbage, or another server's) replays
+		// from the start: duplicates are safe, gaps are not.
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	sub := j.events.subscribe(after)
+	defer j.events.unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // intermediaries must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	// A comment line pushes headers to the client before the first event
+	// and sets the EventSource reconnect delay for eviction recovery.
+	io.WriteString(w, ": whiteboard cell stream\nretry: 1000\n\n")
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case frame, ok := <-sub.ch:
+			if !ok {
+				return // stream ended (state frame delivered) or subscriber evicted
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+//go:embed watch.html
+var watchHTML []byte
+
+// handleWatch serves the embedded live-sweep page. The page derives the
+// job ID from its own URL and attaches an EventSource to the events
+// route, so the HTML is one static immutable asset.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.jobs.get(r.PathValue("id")); !ok {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Write(watchHTML)
+}

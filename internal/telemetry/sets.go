@@ -16,6 +16,7 @@ type Set struct {
 	Campaign *CampaignMetrics
 	Store    *StoreMetrics
 	Jobs     *JobMetrics
+	SSE      *SSEMetrics
 }
 
 // Nop is the disabled sensor grid: every group is nil and every recording
@@ -72,6 +73,12 @@ func NewSet() *Set {
 			done:      r.Counter("wb_jobs_done_total", "HTTP campaign jobs that completed and stored a report."),
 			failed:    r.Counter("wb_jobs_failed_total", "HTTP campaign jobs that ended in failure."),
 			canceled:  r.Counter("wb_jobs_canceled_total", "HTTP campaign jobs canceled before completion."),
+		},
+		SSE: &SSEMetrics{
+			subscribers: r.Gauge("wb_sse_subscribers", "SSE subscribers currently attached to job event streams."),
+			events:      r.Counter("wb_sse_events_total", "SSE events published to job event streams (rendered once, broadcast as bytes)."),
+			dropped:     r.Counter("wb_sse_dropped_events_total", "SSE events dropped because a slow subscriber's queue was full at publish time."),
+			evicted:     r.Counter("wb_sse_evicted_subscribers_total", "SSE subscribers evicted for falling behind the event stream."),
 		},
 	}
 }
@@ -281,6 +288,57 @@ func (m *StoreMetrics) GCRemoved(n int) {
 		return
 	}
 	m.gcRemoved.Add(int64(n))
+}
+
+// SSEMetrics instruments the job event-stream fan-out: attached
+// subscribers, events published, and the drop/evict pressure valve that
+// keeps slow consumers from ever stalling a campaign runner.
+type SSEMetrics struct {
+	subscribers *Gauge
+	events      *Counter
+	dropped     *Counter
+	evicted     *Counter
+}
+
+// SubscriberAdd shifts the attached-subscriber gauge.
+func (m *SSEMetrics) SubscriberAdd(delta int64) {
+	if m == nil {
+		return
+	}
+	m.subscribers.Add(delta)
+}
+
+// EventPublished records one event rendered and broadcast.
+func (m *SSEMetrics) EventPublished() {
+	if m == nil {
+		return
+	}
+	m.events.Inc()
+}
+
+// DroppedEvent records one event a full subscriber queue could not take.
+func (m *SSEMetrics) DroppedEvent() {
+	if m == nil {
+		return
+	}
+	m.dropped.Inc()
+}
+
+// Evicted records one subscriber evicted for falling behind.
+func (m *SSEMetrics) Evicted() {
+	if m == nil {
+		return
+	}
+	m.evicted.Inc()
+}
+
+// Counts snapshots the fan-out tallies (subscribers currently attached,
+// events published, events dropped, subscribers evicted).
+func (m *SSEMetrics) Counts() (subscribers, events, dropped, evicted int64) {
+	if m == nil {
+		return 0, 0, 0, 0
+	}
+	return m.subscribers.Value(), m.events.Value(), m.dropped.Value(), m.evicted.Value()
 }
 
 // JobMetrics instruments the HTTP job API's lifetime counters. Monotonic
