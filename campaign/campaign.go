@@ -51,6 +51,11 @@ type Runner = internal.Runner
 // CellResult is one completed cell of a streaming sweep.
 type CellResult = internal.CellResult
 
+// CellRange is a half-open [Start, End) slice of a spec's cell matrix in
+// matrix order; setting Spec.Cells to one restricts execution to that
+// shard, with cells byte-identical to the same slice of a full run.
+type CellRange = internal.CellRange
+
 // Report is a finished campaign: the normalized spec, per-cell statistics
 // and outcome totals, with deterministic JSON/CSV emitters.
 type Report = internal.Report
@@ -91,6 +96,12 @@ func RunContext(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 
 // LoadSpec reads a Spec from a JSON file, rejecting unknown fields.
 func LoadSpec(path string) (Spec, error) { return internal.LoadSpec(path) }
+
+// AssembleReport builds a whole-campaign report from externally produced
+// cells in matrix order — the merge step of a sharded (cell-range) run.
+func AssembleReport(spec Spec, cells []Cell) (*Report, error) {
+	return internal.AssembleReport(spec, cells)
+}
 
 // FormatFloat renders a float the way reports and diffs do, so external
 // tooling can compare values without formatting churn.

@@ -14,6 +14,8 @@
 //	wbcampaign run  -spec examples/campaigns/smoke.json -store
 //	wbcampaign run  -spec ... -push http://host:8080     # publish to wbserve
 //	wbcampaign run  -spec ... -remote http://host:8080   # execute ON wbserve
+//	wbcampaign run  -spec ... -workers http://a:8080,http://b:8080
+//	                                  # shard across a wbserve worker fleet
 //	wbcampaign list
 //	wbcampaign diff                  # latest two runs of the newest spec
 //	wbcampaign diff run-001 run-002  # explicit refs, -json for machines
@@ -37,16 +39,13 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	"net/url"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -54,6 +53,8 @@ import (
 	"time"
 
 	"repro/campaign"
+	"repro/client"
+	"repro/fabric"
 	"repro/internal/telemetry"
 	"repro/registry"
 	"repro/store"
@@ -109,8 +110,9 @@ func usage(w *os.File) {
 
 run flags: -spec FILE | -protocols ... -graphs ... -sizes ... [-adversaries ...]
            [-exhaustive] [-max-steps N] [-memoize=false] [-store] [-dir DIR]
-           [-push URL] [-remote URL] [-label L] [-workers N] [-out FILE]
-           [-csv FILE] [-trace FILE] [-log-level L] [-log-format F] [-quiet]
+           [-push URL] [-remote URL] [-label L] [-workers N|URL1,URL2,...]
+           [-shards K] [-out FILE] [-csv FILE] [-trace FILE] [-metrics-out FILE]
+           [-log-level L] [-log-format F] [-quiet]
 list flags: [-dir DIR]
 diff flags: [-dir DIR] [-json] [REF_OLD REF_NEW]
 gc flags:   -keep N [-dir DIR] [-force] [-quiet]
@@ -135,7 +137,9 @@ func runCmd(args []string) {
 		exhaustive = fs.Bool("exhaustive", false, "enumerate every adversarial schedule per cell (ignores -adversaries; small n only)")
 		maxSteps   = fs.Int("max-steps", 0, "per-job write budget in exhaustive mode; 0 = default")
 		memoize    = fs.Bool("memoize", true, "collapse identical configurations during exhaustive enumeration (exact schedule multiplicities); false = naive tree walk")
-		workers    = fs.Int("workers", 0, "worker goroutines; 0 = GOMAXPROCS")
+		workers    = fs.String("workers", "0", "worker goroutines (0 = GOMAXPROCS), or comma-separated wbserve URLs to run the campaign on a distributed worker fleet")
+		shards     = fs.Int("shards", 0, "with -workers URLs: contiguous cell-range shards to split the matrix into; 0 = one per worker")
+		metricsOut = fs.String("metrics-out", "", "write the run's Prometheus metrics exposition to this file")
 		out        = fs.String("out", "", "JSON report path; empty = stdout (unless -store)")
 		csvPath    = fs.String("csv", "", "also write a CSV report here")
 		toStore    = fs.Bool("store", false, "persist the report in the result store for later list/diff")
@@ -155,12 +159,28 @@ func runCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "wbcampaign run: unexpected argument %q (did you mean -spec %s?)\n", fs.Arg(0), fs.Arg(0))
 		os.Exit(2)
 	}
+	workerURLs, workerN, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbcampaign run: %v\n", err)
+		os.Exit(2)
+	}
+	if len(workerURLs) > 0 {
+		if *traceOut != "" {
+			// A fleet run has no single span tree: each shard is traced by the
+			// worker that ran it. Refuse rather than write an empty file.
+			fmt.Fprintln(os.Stderr, "wbcampaign run: -trace conflicts with a -workers URL fleet (shard traces live on the workers)")
+			os.Exit(2)
+		}
+	} else if *shards != 0 {
+		fmt.Fprintln(os.Stderr, "wbcampaign run: -shards requires -workers with wbserve URLs")
+		os.Exit(2)
+	}
 	if *remote != "" {
 		// A remote run executes and stores server-side; flags that demand a
 		// local execution product would be silently dead, so refuse them.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "store", "dir", "push", "workers":
+			case "store", "dir", "push", "workers", "shards", "metrics-out":
 				fmt.Fprintf(os.Stderr, "wbcampaign run: -%s conflicts with -remote (the report is produced and stored server-side)\n", f.Name)
 				os.Exit(2)
 			}
@@ -247,48 +267,67 @@ func runCmd(args []string) {
 		return
 	}
 
-	opts := campaign.Options{Workers: *workers}
-	if !*quiet {
-		opts.OnProgress = func(done, total int) {
-			if done == total || done%16 == 0 {
-				fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done, total)
-			}
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+	set := telemetry.NewSet()
+	runStart := time.Now()
+	var rep *campaign.Report
+	if len(workerURLs) > 0 {
+		// Fleet mode: the fabric coordinator shards the matrix across the
+		// workers and assembles the report client-side, so the regular
+		// -store/-push/-out tail below applies to it unchanged.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		rep, err = runFleet(ctx, workerURLs, *shards, spec, *quiet, set, logger)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		opts := campaign.Options{Workers: workerN}
+		if !*quiet {
+			opts.OnProgress = func(done, total int) {
+				if done == total || done%16 == 0 {
+					fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done, total)
+				}
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
 			}
 		}
-	}
-	opts.OnCell = func(cr campaign.CellResult) {
-		logger.Debug("cell done", "index", cr.Index, "total", cr.Total,
-			"protocol", cr.Cell.Protocol, "graph", cr.Cell.Graph, "n", cr.Cell.N)
-	}
-	// A local -trace runs the sweep under an in-process tracer and dumps
-	// the same span-tree document the server's trace route serves.
-	ctx := context.Background()
-	var tracer *telemetry.Tracer
-	const localTraceID = "local"
-	if *traceOut != "" {
-		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
-		ctx = telemetry.WithTrace(ctx, tracer, localTraceID)
-	}
-	ctx, root := telemetry.StartSpan(ctx, "job")
-	runStart := time.Now()
-	rep, err := campaign.RunContext(ctx, spec, opts)
-	root.End()
-	if err != nil {
-		fail(err)
+		opts.OnCell = func(cr campaign.CellResult) {
+			logger.Debug("cell done", "index", cr.Index, "total", cr.Total,
+				"protocol", cr.Cell.Protocol, "graph", cr.Cell.Graph, "n", cr.Cell.N)
+		}
+		// A local -trace runs the sweep under an in-process tracer and dumps
+		// the same span-tree document the server's trace route serves.
+		ctx := context.Background()
+		var tracer *telemetry.Tracer
+		const localTraceID = "local"
+		if *traceOut != "" {
+			tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+			ctx = telemetry.WithTrace(ctx, tracer, localTraceID)
+		}
+		ctx, root := telemetry.StartSpan(ctx, "job")
+		rep, err = campaign.RunContext(ctx, spec, opts)
+		root.End()
+		if err != nil {
+			fail(err)
+		}
+		if *traceOut != "" {
+			spans, dropped := tracer.Trace(localTraceID)
+			if err := writeTrace(*traceOut, localTraceID, dropped, spans); err != nil {
+				fail(err)
+			}
+		}
 	}
 	logger.Info("campaign complete", "jobs", rep.Jobs, "cells", len(rep.Cells),
 		"success", rep.Totals.Success, "deadlock", rep.Totals.Deadlock,
 		"failed", rep.Totals.Failed, "elapsed", time.Since(runStart).Round(time.Millisecond).String())
-	if *traceOut != "" {
-		spans, dropped := tracer.Trace(localTraceID)
-		if err := writeTrace(*traceOut, localTraceID, dropped, spans); err != nil {
-			fail(err)
-		}
-	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, rep.Summary())
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsFile(set.Registry, *metricsOut); err != nil {
+			fail(err)
+		}
 	}
 
 	if *toStore {
@@ -549,18 +588,6 @@ func importCmd(args []string) {
 	fmt.Printf("imported %d runs into %s (%d already present)\n", res.Added, *dir, res.Skipped)
 }
 
-// remoteJob mirrors the server's job-status document; only the fields the
-// CLI renders are decoded.
-type remoteJob struct {
-	ID         string `json:"id"`
-	State      string `json:"state"`
-	CellsDone  int    `json:"cells_done"`
-	CellsTotal int    `json:"cells_total"`
-	Error      string `json:"error"`
-	Ref        string `json:"ref"`
-	ReportURL  string `json:"report_url"`
-}
-
 // runRemote executes a campaign on a wbserve instance through the v1 job
 // API: submit the spec, follow the job's per-cell SSE stream (polling the
 // status route instead against servers that predate it) to a terminal
@@ -569,72 +596,50 @@ type remoteJob struct {
 // cancels the job server-side before returning, so an interrupted run
 // does not leave the server's worker pool grinding on abandoned work.
 func runRemote(ctx context.Context, baseURL string, spec campaign.Spec, label string, quiet bool, out, csvPath, tracePath string) error {
-	base := strings.TrimSuffix(baseURL, "/")
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return err
-	}
-	target := base + "/api/v1/campaigns"
-	if label != "" {
-		target += "?label=" + url.QueryEscape(label)
-	}
-	client := &http.Client{Timeout: 30 * time.Second}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	c := client.New(baseURL, client.Options{})
+	job, err := c.Submit(ctx, spec, label)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote: %w", err)
-	}
-	data, err := readBody(resp)
-	if err != nil {
-		return fmt.Errorf("remote: %w", err)
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("remote: %s answered %s: %s", target, resp.Status, strings.TrimSpace(string(data)))
-	}
-	var job remoteJob
-	if err := json.Unmarshal(data, &job); err != nil {
-		return fmt.Errorf("remote: parsing submission response: %w", err)
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "submitted %s to %s (%d cells)\n", job.ID, base, job.CellsTotal)
+		fmt.Fprintf(os.Stderr, "submitted %s to %s (%d cells)\n", job.ID, c.BaseURL(), job.CellsTotal)
 	}
 
-	streamed, err := streamRemoteProgress(ctx, base, &job, quiet)
-	if err != nil {
-		return cancelRemoteJob(base, job.ID, err)
-	}
-	statusURL := base + "/api/v1/campaigns/" + job.ID
-	for !streamed && job.State == "running" {
-		select {
-		case <-ctx.Done():
-			return cancelRemoteJob(base, job.ID, ctx.Err())
-		case <-time.After(150 * time.Millisecond):
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, statusURL, nil)
-		if err != nil {
-			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
-		}
-		resp, err := client.Do(req)
+	streamed, done := false, 0
+	for ev, err := range c.Events(ctx, job.ID, 0) {
 		if err != nil {
 			if ctx.Err() != nil {
-				return cancelRemoteJob(base, job.ID, ctx.Err())
+				return cancelRemoteJob(c, job.ID, ctx.Err())
+			}
+			// Any stream failure — a server without the route, a connection
+			// lost for good — degrades losslessly to polling below, which
+			// reads the authoritative status document, not stream deltas.
+			break
+		}
+		switch ev.Type {
+		case "cell":
+			done++
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, ev.Cell.Total)
+			}
+		case "state":
+			job, streamed = *ev.Job, true
+		}
+	}
+	for !streamed && job.State == client.StateRunning {
+		select {
+		case <-ctx.Done():
+			return cancelRemoteJob(c, job.ID, ctx.Err())
+		case <-time.After(150 * time.Millisecond):
+		}
+		st, err := c.Status(ctx, job.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cancelRemoteJob(c, job.ID, ctx.Err())
 			}
 			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
 		}
-		data, err := readBody(resp)
-		if err != nil {
-			return fmt.Errorf("remote: polling %s: %w", job.ID, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("remote: polling %s: %s: %s", job.ID, resp.Status, strings.TrimSpace(string(data)))
-		}
-		if err := json.Unmarshal(data, &job); err != nil {
-			return fmt.Errorf("remote: parsing status: %w", err)
-		}
+		job = st
 		if !quiet {
 			fmt.Fprintf(os.Stderr, "\r%d/%d cells", job.CellsDone, job.CellsTotal)
 		}
@@ -642,27 +647,31 @@ func runRemote(ctx context.Context, baseURL string, spec campaign.Spec, label st
 	if !quiet {
 		fmt.Fprintln(os.Stderr)
 	}
-	if job.State != "done" {
+	if job.State != client.StateDone {
 		return fmt.Errorf("remote: job %s ended %s: %s", job.ID, job.State, job.Error)
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "remote stored %s on %s\n", job.Ref, base)
+		fmt.Fprintf(os.Stderr, "remote stored %s on %s\n", job.Ref, c.BaseURL())
 	}
 	if out != "" {
-		if err := fetchRendered(client, base+job.ReportURL, out); err != nil {
+		if err := fetchRendered(ctx, c, job.Ref, "", out); err != nil {
 			return err
 		}
 	}
 	if csvPath != "" {
-		if err := fetchRendered(client, base+job.ReportURL+"?format=csv", csvPath); err != nil {
+		if err := fetchRendered(ctx, c, job.Ref, "csv", csvPath); err != nil {
 			return err
 		}
 	}
 	if tracePath != "" {
 		// The server traced the job while it ran; its trace route serves the
 		// same document a local -trace writes.
-		if err := fetchRendered(client, base+"/api/v1/trace/"+job.ID, tracePath); err != nil {
-			return err
+		data, err := c.Trace(ctx, job.ID)
+		if err != nil {
+			return fmt.Errorf("remote: fetching trace: %w", err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return fmt.Errorf("remote: %w", err)
 		}
 		if !quiet {
 			fmt.Fprintf(os.Stderr, "trace of %s written to %s\n", job.ID, tracePath)
@@ -671,91 +680,15 @@ func runRemote(ctx context.Context, baseURL string, spec campaign.Spec, label st
 	return nil
 }
 
-// streamRemoteProgress follows the job's SSE events route, advancing the
-// progress line per completed cell and decoding the terminal `state`
-// frame into job. It reports streamed=false — meaning fall back to status
-// polling — when the server predates the route or the stream breaks
-// before the terminal frame; the switch is lossless because polling reads
-// the authoritative status document, not stream deltas. The only error it
-// returns is ctx's, so a SIGINT mid-stream surfaces as a cancellation.
-func streamRemoteProgress(ctx context.Context, base string, job *remoteJob, quiet bool) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		base+"/api/v1/campaigns/"+job.ID+"/events", nil)
-	if err != nil {
-		return false, nil
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	// A fresh client without an overall timeout: the stream lives as long
-	// as the job, which a 30 s deadline would cut off mid-run.
-	resp, err := (&http.Client{}).Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return false, ctx.Err()
-		}
-		return false, nil
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK ||
-		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return false, nil
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	var event, data string
-	done := 0
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case line == "": // blank line dispatches the buffered frame
-			switch event {
-			case "cell":
-				var cr struct {
-					Total int `json:"total"`
-				}
-				if json.Unmarshal([]byte(data), &cr) == nil {
-					done++
-					if !quiet {
-						fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, cr.Total)
-					}
-				}
-			case "state":
-				if json.Unmarshal([]byte(data), job) != nil {
-					return false, nil // unreadable terminal frame: re-read via polling
-				}
-				return true, nil
-			}
-			event, data = "", ""
-		case strings.HasPrefix(line, "event:"):
-			event = strings.TrimSpace(line[len("event:"):])
-		case strings.HasPrefix(line, "data:"):
-			data = strings.TrimSpace(line[len("data:"):])
-			// id:, retry: and comment lines pass through: reconnect cursors
-			// matter to EventSource clients; our recovery path is polling.
-		}
-	}
-	if ctx.Err() != nil {
-		return false, ctx.Err()
-	}
-	return false, nil // evicted or connection lost before the terminal frame
-}
-
 // cancelRemoteJob handles an interrupted remote run: without the cancel
 // POST, ^C would leave the job burning the server's worker pool. It uses
 // a fresh context — the interrupted one is already dead — and always
 // returns a non-nil error so the process exits non-zero.
-func cancelRemoteJob(base, id string, cause error) error {
-	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Post(base+"/api/v1/campaigns/"+id+"/cancel", "", nil)
-	if err != nil {
+func cancelRemoteJob(c *client.Client, id string, cause error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Cancel(ctx, id); err != nil {
 		return fmt.Errorf("remote: %v; canceling job %s failed: %w", cause, id, err)
-	}
-	data, _ := readBody(resp)
-	// The cancel route answers 202 Accepted (cancellation is async), so
-	// any 2xx means the server took the request.
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("remote: %v; canceling job %s: %s: %s",
-			cause, id, resp.Status, strings.TrimSpace(string(data)))
 	}
 	return fmt.Errorf("remote: interrupted (%v); canceled job %s server-side", cause, id)
 }
@@ -773,17 +706,10 @@ func writeTrace(path, traceID string, dropped int64, spans []telemetry.SpanRecor
 }
 
 // fetchRendered downloads one rendered report representation to a file.
-func fetchRendered(client *http.Client, target, path string) error {
-	resp, err := client.Get(target)
+func fetchRendered(ctx context.Context, c *client.Client, ref, format, path string) error {
+	data, err := c.Report(ctx, ref, format)
 	if err != nil {
 		return fmt.Errorf("remote: fetching report: %w", err)
-	}
-	data, err := readBody(resp)
-	if err != nil {
-		return fmt.Errorf("remote: fetching report: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: fetching report: %s: %s", resp.Status, strings.TrimSpace(string(data)))
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("remote: %w", err)
@@ -791,49 +717,82 @@ func fetchRendered(client *http.Client, target, path string) error {
 	return nil
 }
 
-// readBody drains and closes a response body with a sanity bound,
-// erroring — rather than silently truncating — when the bound is hit, so
-// a downloaded report can never be persisted half-read.
-func readBody(resp *http.Response) ([]byte, error) {
-	defer resp.Body.Close()
-	const limit = 64 << 20
-	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+// parseWorkers reads the dual-mode -workers flag: a plain integer is a
+// local goroutine count (the historical meaning), anything else is a
+// comma-separated list of wbserve base URLs naming a distributed fleet.
+func parseWorkers(s string) (urls []string, n int, err error) {
+	if s == "" {
+		return nil, 0, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return nil, 0, fmt.Errorf("bad -workers %d: want a count ≥ 0 or wbserve URLs", n)
+		}
+		return nil, n, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.HasPrefix(part, "http://") && !strings.HasPrefix(part, "https://") {
+			return nil, 0, fmt.Errorf("bad -workers entry %q: want a goroutine count or comma-separated http(s) URLs", part)
+		}
+		urls = append(urls, part)
+	}
+	if len(urls) == 0 {
+		return nil, 0, fmt.Errorf("bad -workers %q: no worker URLs", s)
+	}
+	return urls, 0, nil
+}
+
+// runFleet executes the campaign across a pool of wbserve workers via
+// the fabric coordinator. Seeds derive from job coordinates, so the
+// assembled report is byte-identical to a local run of the same spec.
+func runFleet(ctx context.Context, urls []string, shards int, spec campaign.Spec, quiet bool, set *telemetry.Set, logger *slog.Logger) (*campaign.Report, error) {
+	opts := fabric.Options{
+		Workers: urls,
+		Shards:  shards,
+		Metrics: set.Fabric,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "fleet run across %d workers\n", len(urls))
+		opts.OnCell = func(cr campaign.CellResult) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", cr.Index+1, cr.Total)
+			if cr.Index+1 == cr.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep, err := fabric.Run(ctx, spec, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fleet: %w", err)
 	}
-	if len(data) > limit {
-		return nil, fmt.Errorf("response body exceeds %d bytes", limit)
+	return rep, nil
+}
+
+// writeMetricsFile dumps the run's Prometheus exposition, so scripts and
+// CI can assert on counters (fleet resubmissions, dedups) after exit.
+func writeMetricsFile(r *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return data, nil
+	defer f.Close()
+	return r.WriteText(f)
 }
 
 // pushReport publishes a finished report to a wbserve ingest endpoint,
 // returning the entry the server stored it under.
 func pushReport(baseURL string, rep *campaign.Report, label string) (store.Entry, error) {
-	var body bytes.Buffer
-	if err := rep.WriteJSON(&body); err != nil {
-		return store.Entry{}, err
-	}
-	target := strings.TrimSuffix(baseURL, "/") + "/api/v1/reports"
-	if label != "" {
-		target += "?label=" + url.QueryEscape(label)
-	}
-	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(target, "application/json", &body)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	entry, err := client.New(baseURL, client.Options{}).Ingest(ctx, rep, label)
 	if err != nil {
 		return store.Entry{}, fmt.Errorf("push: %w", err)
-	}
-	data, err := readBody(resp)
-	if err != nil {
-		return store.Entry{}, fmt.Errorf("push: reading response: %w", err)
-	}
-	if resp.StatusCode != http.StatusCreated {
-		return store.Entry{}, fmt.Errorf("push: %s answered %s: %s",
-			target, resp.Status, strings.TrimSpace(string(data)))
-	}
-	var entry store.Entry
-	if err := json.Unmarshal(data, &entry); err != nil {
-		return store.Entry{}, fmt.Errorf("push: parsing response: %w", err)
 	}
 	return entry, nil
 }

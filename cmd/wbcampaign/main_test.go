@@ -229,6 +229,105 @@ func TestSDKCLIHTTPEquivalence(t *testing.T) {
 	}
 }
 
+// TestFleetCLIEquivalence extends the equivalence pin to fleet mode: the
+// same spec sharded across two in-process wbserve workers (via `run
+// -workers URL,URL`) stores a report byte-identical to the SDK run, and
+// -metrics-out captures the fabric telemetry for scripts to assert on.
+func TestFleetCLIEquivalence(t *testing.T) {
+	spec := campaign.Spec{
+		Name:        "fleet-equivalence",
+		Protocols:   []string{"build-forest", "mis"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min", "max"},
+		Sizes:       []int{4, 5},
+		Seeds:       2,
+	}
+	dir := t.TempDir()
+	specFile := writeSpecFile(t, spec)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := campaign.Run(spec, campaign.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(rep, "sdk"); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := func() string {
+		wst, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Options{Stores: []*store.Store{wst}, JobWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	metricsFile := filepath.Join(t.TempDir(), "metrics.prom")
+	runCmd([]string{"-spec", specFile, "-store", "-dir", dir, "-label", "fleet", "-quiet",
+		"-workers", worker() + "," + worker(), "-shards", "3", "-metrics-out", metricsFile})
+
+	hash := store.SpecHash(spec)
+	render := func(label, format string) string {
+		t.Helper()
+		entry, err := st.GetEntry(hash, label)
+		if err != nil {
+			t.Fatalf("%s run not stored: %v", label, err)
+		}
+		loaded, err := st.LoadEntry(entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := loaded.Render(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, format := range []string{"json", "csv"} {
+		if render("sdk", format) != render("fleet", format) {
+			t.Errorf("%s: SDK and fleet reports differ", format)
+		}
+	}
+
+	metrics, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatalf("-metrics-out wrote nothing: %v", err)
+	}
+	for _, family := range []string{"wb_fabric_shards_in_flight", "wb_fabric_resubmissions_total", "wb_fabric_workers"} {
+		if !strings.Contains(string(metrics), family) {
+			t.Errorf("metrics exposition lacks %s", family)
+		}
+	}
+}
+
+// TestParseWorkers pins the dual-mode flag: integers stay goroutine
+// counts, URL lists select the fleet, and junk is rejected.
+func TestParseWorkers(t *testing.T) {
+	if urls, n, err := parseWorkers("4"); err != nil || n != 4 || urls != nil {
+		t.Errorf("parseWorkers(4) = %v, %d, %v", urls, n, err)
+	}
+	if urls, n, err := parseWorkers("0"); err != nil || n != 0 || urls != nil {
+		t.Errorf("parseWorkers(0) = %v, %d, %v", urls, n, err)
+	}
+	urls, n, err := parseWorkers("http://a:8080, http://b:8080")
+	if err != nil || n != 0 || len(urls) != 2 || urls[0] != "http://a:8080" || urls[1] != "http://b:8080" {
+		t.Errorf("parseWorkers(urls) = %v, %d, %v", urls, n, err)
+	}
+	for _, bad := range []string{"-2", "a:8080", "http://a:8080,nope", ","} {
+		if _, _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
 // TestRunRemoteErrors pins the -remote error surface without exiting the
 // process: rejected submissions and failed jobs surface as errors.
 func TestRunRemoteErrors(t *testing.T) {

@@ -655,6 +655,27 @@ func aggregateCell(spec Spec, jobs []Job, results []jobResult) Cell {
 	return cell
 }
 
+// AssembleReport builds the whole-campaign report from externally
+// produced cells — the distributed fabric's merge step after it has
+// collected every shard's stream. spec must describe the full matrix (a
+// Cells range is rejected: shards are inputs here, not the product) and
+// cells must be its complete cell list in matrix order. Because range
+// runs produce cells byte-identical to a local run's, the assembled
+// report is byte-identical to Run on the same spec.
+func AssembleReport(spec Spec, cells []Cell) (*Report, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Cells != nil {
+		return nil, fmt.Errorf("campaign: AssembleReport wants the full spec, not a cells range")
+	}
+	if len(cells) != spec.NumCells() {
+		return nil, fmt.Errorf("campaign: AssembleReport: %d cells for a %d-cell spec", len(cells), spec.NumCells())
+	}
+	return assembleReport(spec, spec.NumCells()*spec.Seeds, cells), nil
+}
+
 // assembleReport wraps streamed cells into the whole-campaign report,
 // summing totals. Cells must be in matrix order and complete.
 func assembleReport(spec Spec, jobs int, cells []Cell) *Report {

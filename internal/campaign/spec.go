@@ -69,6 +69,22 @@ type Spec struct {
 	// budget only on unique writes. Set false to force the naive tree walk
 	// (engine.RunAll). Only meaningful in exhaustive mode.
 	Memoize *bool `json:"memoize,omitempty"`
+	// Cells, when set, restricts execution to the half-open cell-index
+	// range [Start, End) of the full matrix — the shard contract of the
+	// distributed fabric, which submits each range as an ordinary job.
+	// Cell indices in the report and streams are rebased to the range
+	// (index 0 is the range's first cell), but every seed still derives
+	// from the job's absolute coordinates, so a range run's cells are
+	// byte-identical to the corresponding slice of a full run.
+	Cells *CellRange `json:"cells,omitempty"`
+}
+
+// CellRange is a half-open [Start, End) slice of a spec's cell matrix in
+// matrix order (protocol → graph → size → adversary → model). Start==End
+// is a valid empty range.
+type CellRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
 }
 
 // ModeExhaustive is the Spec.Mode value requesting full schedule
@@ -167,6 +183,17 @@ func (s Spec) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("campaign: max_rounds must be ≥ 0, got %d", s.MaxRounds)
 	}
+	if c := s.Cells; c != nil {
+		full := s.fullNumCells()
+		switch {
+		case c.Start < 0:
+			return fmt.Errorf("campaign: cells: start must be ≥ 0, got %d", c.Start)
+		case c.End < c.Start:
+			return fmt.Errorf("campaign: cells: end %d is before start %d", c.End, c.Start)
+		case c.End > full:
+			return fmt.Errorf("campaign: cells: end %d exceeds the spec's %d cells", c.End, full)
+		}
+	}
 	// The dry construction exists to resolve names and parse arguments, not
 	// to build at scale: clamp the probe size so validating a huge sweep
 	// doesn't allocate a huge graph.
@@ -263,23 +290,30 @@ func (s Spec) adversaryAxis() []string {
 // Expand flattens the normalized spec into its job matrix, in the fixed
 // order protocol → graph → size → adversary → model → trial. Cell indices
 // follow the same order, so aggregation is position-based and independent
-// of execution order.
+// of execution order. A Cells range keeps only its slice of the matrix,
+// with cell indices rebased so the range's first cell is 0; job seeds are
+// untouched because they derive from coordinates, not indices.
 func (s Spec) Expand() []Job {
 	advs := s.adversaryAxis()
-	jobs := make([]Job, 0,
-		len(s.Protocols)*len(s.Graphs)*len(s.Sizes)*len(advs)*len(s.Models)*s.Seeds)
+	start, end := 0, s.fullNumCells()
+	if s.Cells != nil {
+		start, end = s.Cells.Start, s.Cells.End
+	}
+	jobs := make([]Job, 0, (end-start)*s.Seeds)
 	cell := 0
 	for _, proto := range s.Protocols {
 		for _, g := range s.Graphs {
 			for _, n := range s.Sizes {
 				for _, adv := range advs {
 					for _, model := range s.Models {
-						for t := 0; t < s.Seeds; t++ {
-							jobs = append(jobs, Job{
-								Protocol: proto, Graph: g, Adversary: adv, Model: model,
-								N: n, Trial: t, Cell: cell,
-								Seed: deriveSeed(s.BaseSeed, proto, g, adv, model, n, t),
-							})
+						if cell >= start && cell < end {
+							for t := 0; t < s.Seeds; t++ {
+								jobs = append(jobs, Job{
+									Protocol: proto, Graph: g, Adversary: adv, Model: model,
+									N: n, Trial: t, Cell: cell - start,
+									Seed: deriveSeed(s.BaseSeed, proto, g, adv, model, n, t),
+								})
+							}
 						}
 						cell++
 					}
@@ -290,9 +324,19 @@ func (s Spec) Expand() []Job {
 	return jobs
 }
 
-// NumCells returns the number of aggregation cells the spec expands to.
-func (s Spec) NumCells() int {
+// fullNumCells is the cell count of the whole matrix, ignoring any Cells
+// range.
+func (s Spec) fullNumCells() int {
 	return len(s.Protocols) * len(s.Graphs) * len(s.Sizes) * len(s.adversaryAxis()) * len(s.Models)
+}
+
+// NumCells returns the number of aggregation cells the spec expands to:
+// the whole matrix, or the Cells range's length when one is set.
+func (s Spec) NumCells() int {
+	if s.Cells != nil {
+		return s.Cells.End - s.Cells.Start
+	}
+	return s.fullNumCells()
 }
 
 // deriveSeed maps a job's coordinates to a seed, deterministically and

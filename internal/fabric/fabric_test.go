@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/resultstore"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:        "fabric-test",
+		Protocols:   []string{"build-forest", "connectivity"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"min"},
+		Sizes:       []int{4, 5, 6},
+		Seeds:       2,
+	}
+}
+
+// newWorker starts a real wbserve over its own store and returns its URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Stores: []*resultstore.Store{st}, JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func localJSON(t *testing.T) []byte {
+	t.Helper()
+	rep, err := campaign.Run(testSpec(), campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fastOptions(workers []string) Options {
+	return Options{
+		Workers:       workers,
+		PollInterval:  20 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		StealAfter:    time.Second,
+		WorkerTimeout: 5 * time.Second,
+		Logf:          nil,
+	}
+}
+
+// TestFleetMatchesLocalRun is the distributed half of the equivalence
+// pin: the report a worker fleet assembles is byte-identical to a local
+// run of the same spec, at every worker count and shard assignment.
+func TestFleetMatchesLocalRun(t *testing.T) {
+	want := localJSON(t)
+	cases := []struct {
+		name    string
+		workers int
+		shards  int
+	}{
+		{"one-worker", 1, 0},
+		{"two-workers", 2, 0},
+		{"three-workers", 3, 0},
+		{"more-shards-than-workers", 2, 5},
+		{"one-shard-per-cell", 3, 6},
+		{"shards-capped-at-cells", 2, 99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			urls := make([]string, tc.workers)
+			for i := range urls {
+				urls[i] = newWorker(t)
+			}
+			opts := fastOptions(urls)
+			opts.Shards = tc.shards
+			var emitted []int
+			opts.OnCell = func(cr campaign.CellResult) {
+				emitted = append(emitted, cr.Index)
+			}
+			rep, err := Run(t.Context(), testSpec(), opts)
+			if err != nil {
+				t.Fatalf("fabric run: %v", err)
+			}
+			var got bytes.Buffer
+			if err := rep.WriteJSON(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("fleet report differs from local run (%d workers, %d shards)",
+					tc.workers, tc.shards)
+			}
+			for i, idx := range emitted {
+				if idx != i {
+					t.Fatalf("OnCell emitted index %d at position %d; want matrix order", idx, i)
+				}
+			}
+			if len(emitted) != 6 {
+				t.Fatalf("OnCell fired %d times, want 6", len(emitted))
+			}
+		})
+	}
+}
+
+// TestFleetSurvivesWorkerFailure kills one of two workers right after it
+// accepts its first shard. The coordinator must mark it down, resubmit
+// the orphaned shard to the survivor, and still assemble a report
+// byte-identical to a local run — with the retry visible on the
+// resubmission counter.
+func TestFleetSurvivesWorkerFailure(t *testing.T) {
+	want := localJSON(t)
+	healthyURL := newWorker(t)
+
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Stores: []*resultstore.Store{st}, JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.Load() {
+			http.Error(w, `{"error":{"code":"internal","message":"worker killed"}}`,
+				http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+		if r.Method == http.MethodPost && r.URL.Path == "/api/v1/campaigns" {
+			killed.Store(true) // die immediately after accepting the first shard
+		}
+	}))
+	t.Cleanup(flaky.Close)
+
+	set := telemetry.NewSet()
+	opts := fastOptions([]string{flaky.URL, healthyURL})
+	opts.Metrics = set.Fabric
+
+	ctx, cancel := context.WithTimeout(t.Context(), 30*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, testSpec(), opts)
+	if err != nil {
+		t.Fatalf("fabric run with a dying worker: %v", err)
+	}
+	var got bytes.Buffer
+	if err := rep.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("report assembled across a worker failure differs from local run")
+	}
+	if n := set.Fabric.Resubmissions(); n == 0 {
+		t.Error("resubmission counter stayed 0 across a worker failure")
+	}
+}
+
+// TestRunRejectsBadInput pins the coordinator's argument contract.
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(t.Context(), testSpec(), Options{}); err == nil {
+		t.Error("run with no workers succeeded")
+	}
+	spec := testSpec()
+	spec.Cells = &campaign.CellRange{Start: 0, End: 1}
+	if _, err := Run(t.Context(), spec, fastOptions([]string{"http://localhost:1"})); err == nil {
+		t.Error("run with a pre-sharded spec succeeded")
+	}
+	bad := campaign.Spec{}
+	if _, err := Run(t.Context(), bad, fastOptions([]string{"http://localhost:1"})); err == nil {
+		t.Error("run with an invalid spec succeeded")
+	}
+}

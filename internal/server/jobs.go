@@ -384,6 +384,16 @@ const (
 // multiplying with an overflow guard: anything beyond maxSubmittedJobs
 // reports ok=false rather than a wrapped product.
 func submittedJobs(spec campaign.Spec) (int, bool) {
+	if c := spec.Cells; c != nil {
+		// A cell-range shard executes only its slice of the matrix; Validate
+		// already bounded the range against the full matrix size.
+		total := c.End - c.Start
+		if total > 0 && spec.Seeds > maxSubmittedJobs/total {
+			return 0, false
+		}
+		total *= spec.Seeds
+		return total, total <= maxSubmittedJobs
+	}
 	total := spec.Seeds
 	for _, axis := range []int{len(spec.Protocols), len(spec.Graphs), len(spec.Sizes),
 		len(spec.Models)} {
@@ -406,56 +416,65 @@ func submittedJobs(spec campaign.Spec) (int, bool) {
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly {
-		s.error(w, http.StatusForbidden, "server is read-only; job submission is disabled")
+		s.error(w, http.StatusForbidden, ErrCodeReadOnly, "server is read-only; job submission is disabled")
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	var spec campaign.Spec
 	if err := dec.Decode(&spec); err != nil {
-		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad spec body: %v", err))
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Sprintf("bad spec body: %v", err))
 		return
 	}
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, ErrCodeBadSpec, err.Error())
 		return
 	}
 	if _, ok := submittedJobs(spec); !ok {
-		s.error(w, http.StatusBadRequest,
+		s.error(w, http.StatusBadRequest, ErrCodeBadSpec,
 			fmt.Sprintf("spec expands to more than %d jobs; split the sweep across submissions", maxSubmittedJobs))
 		return
 	}
 	for _, n := range spec.Sizes {
 		if n > maxSubmittedN {
-			s.error(w, http.StatusBadRequest,
+			s.error(w, http.StatusBadRequest, ErrCodeBadSpec,
 				fmt.Sprintf("size %d exceeds this server's per-graph limit of %d nodes", n, maxSubmittedN))
 			return
 		}
 	}
+	// Label checks run before s.jobs.submit so a rejected label never
+	// allocates a job id: the submission fails whole, burning neither
+	// compute nor a slot in the job table.
 	label := r.URL.Query().Get("label")
 	if label != "" {
-		// Reject bad or taken labels now, not after the sweep has burned
-		// its compute; Save re-checks at completion for lost races.
 		if err := resultstore.CheckLabel(label); err != nil {
-			s.error(w, http.StatusBadRequest, err.Error())
+			// The run-NNN namespace belongs to the store's auto-assigner, so
+			// for a caller those labels are permanently taken; anything else
+			// CheckLabel rejects could never name a run at all.
+			if resultstore.AutoLabel(label) {
+				s.error(w, http.StatusConflict, ErrCodeLabelTaken, err.Error())
+				return
+			}
+			s.error(w, http.StatusBadRequest, ErrCodeBadLabel, err.Error())
 			return
 		}
+		// Save re-checks at completion for lost races.
 		hash := resultstore.SpecHash(spec)
 		if _, err := s.jobs.store.GetEntry(hash, label); err == nil {
-			s.error(w, http.StatusConflict,
+			s.error(w, http.StatusConflict, ErrCodeLabelTaken,
 				fmt.Sprintf("label %q already names a stored run of this spec", label))
 			return
 		}
 		if s.jobs.labelClaimed(hash, label) {
-			s.error(w, http.StatusConflict,
+			s.error(w, http.StatusConflict, ErrCodeLabelTaken,
 				fmt.Sprintf("label %q is claimed by a running job of this spec", label))
 			return
 		}
 	}
 	j := s.jobs.submit(spec, label)
 	if j == nil {
-		s.error(w, http.StatusServiceUnavailable, "server is shutting down; not accepting jobs")
+		s.error(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down; not accepting jobs")
 		return
 	}
 	st := j.status()
@@ -474,7 +493,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		switch state {
 		case jobRunning, jobDone, jobFailed, jobCanceled:
 		default:
-			s.error(w, http.StatusBadRequest,
+			s.error(w, http.StatusBadRequest, ErrCodeBadRequest,
 				fmt.Sprintf("unknown state %q (want running, done, failed or canceled)", state))
 			return
 		}
@@ -492,7 +511,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
 	s.writeJSON(w, j.status())
@@ -501,12 +520,12 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
 	st := j.status()
 	if st.State != jobRunning {
-		s.error(w, http.StatusConflict, fmt.Sprintf("job %s already %s", st.ID, st.State))
+		s.error(w, http.StatusConflict, ErrCodeConflict, fmt.Sprintf("job %s already %s", st.ID, st.State))
 		return
 	}
 	j.cancel()

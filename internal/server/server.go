@@ -172,7 +172,7 @@ func New(opts Options) (*Server, error) {
 	mux.Handle("/metricsz", s.methodNotAllowed("GET"))
 	mux.Handle("/metrics", s.methodNotAllowed("GET"))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
 	})
 	s.handler = s.instrument(mux)
 	return s, nil
@@ -201,30 +201,61 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) methodNotAllowed(allow string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		s.error(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
+		s.error(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
 	})
 }
 
-// error emits a JSON error body; every non-2xx response goes through it.
-func (s *Server) error(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+// Error codes of the v1 error envelope. Every non-2xx response carries
+// {"error": {"code": <one of these>, "message": <human text>}}: the code
+// is the stable machine contract (clients switch on it), the message is
+// free-form diagnostic prose.
+const (
+	ErrCodeBadRequest       = "bad_request"        // malformed query/body parameter
+	ErrCodeBadSpec          = "bad_spec"           // body parsed but the spec does not validate
+	ErrCodeBadLabel         = "bad_label"          // label cannot name a stored run
+	ErrCodeLabelTaken       = "label_taken"        // label already names (or is reserved for) a run
+	ErrCodeNotFound         = "not_found"          // no such report, diff operand, job or route
+	ErrCodeConflict         = "conflict"           // request races the resource's state
+	ErrCodeReadOnly         = "read_only"          // write route on a read-only server
+	ErrCodeMethodNotAllowed = "method_not_allowed" // route exists, method does not
+	ErrCodeShuttingDown     = "shutting_down"      // graceful shutdown refuses new work
+	ErrCodeInternal         = "internal"           // unclassified server-side failure
+)
+
+// errorEnvelope is the uniform v1 error body.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
 }
 
-// storeError maps a store failure to a status code via the resultstore
-// sentinels, logging the ones that indicate real trouble.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// error emits the JSON error envelope; every non-2xx response goes
+// through it, so all failure bodies share one shape.
+func (s *Server) error(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+// storeError maps a store failure to a status and envelope code via the
+// resultstore sentinels, logging the ones that indicate real trouble.
 func (s *Server) storeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, resultstore.ErrNotFound):
-		s.error(w, http.StatusNotFound, err.Error())
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, err.Error())
 	case errors.Is(err, resultstore.ErrNeedTwoRuns):
-		s.error(w, http.StatusNotFound, err.Error())
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, err.Error())
+	case errors.Is(err, resultstore.ErrBadLabel):
+		s.error(w, http.StatusBadRequest, ErrCodeBadLabel, err.Error())
 	case errors.Is(err, resultstore.ErrLabelTaken):
-		s.error(w, http.StatusConflict, err.Error())
+		s.error(w, http.StatusConflict, ErrCodeLabelTaken, err.Error())
 	default:
 		s.logf("server: %v", err)
-		s.error(w, http.StatusInternalServerError, err.Error())
+		s.error(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 	}
 }
 
@@ -233,7 +264,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		s.error(w, http.StatusInternalServerError, err.Error())
+		s.error(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 		return
 	}
 	w.Write(append(data, '\n'))
@@ -344,7 +375,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	graph := q.Get("graph")
 	limit, offset, err := pageParams(r)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
 		return
 	}
 
@@ -476,7 +507,7 @@ func reportFormat(r *http.Request) (format, contentType string, err error) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	format, contentType, err := reportFormat(r)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
 		return
 	}
 	loc, err := s.lookup(r.PathValue("hash"), r.PathValue("label"))
@@ -544,13 +575,13 @@ func (s *Server) resolveRef(ref string) (located, error) {
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	format, contentType, err := diffFormat(r)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
 		return
 	}
 	q := r.URL.Query()
 	oldRef, newRef := q.Get("old"), q.Get("new")
 	if (oldRef == "") != (newRef == "") {
-		s.error(w, http.StatusBadRequest, "diff wants both old= and new= refs, or neither (latest pair)")
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, "diff wants both old= and new= refs, or neither (latest pair)")
 		return
 	}
 	var oldLoc, newLoc located
@@ -622,28 +653,24 @@ const maxIngestBytes = 64 << 20
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly {
-		s.error(w, http.StatusForbidden, "server is read-only; ingest is disabled")
+		s.error(w, http.StatusForbidden, ErrCodeReadOnly, "server is read-only; ingest is disabled")
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	dec.DisallowUnknownFields()
 	var rep campaign.Report
 	if err := dec.Decode(&rep); err != nil {
-		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad report body: %v", err))
+		s.error(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Sprintf("bad report body: %v", err))
 		return
 	}
 	// A report that would not validate as a spec is garbage or from an
 	// incompatible revision; reject it before it poisons the store.
 	if err := rep.Spec.Normalize().Validate(); err != nil {
-		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad report spec: %v", err))
+		s.error(w, http.StatusBadRequest, ErrCodeBadSpec, fmt.Sprintf("bad report spec: %v", err))
 		return
 	}
 	entry, err := s.stores[0].Save(&rep, r.URL.Query().Get("label"))
 	if err != nil {
-		if errors.Is(err, resultstore.ErrBadLabel) {
-			s.error(w, http.StatusBadRequest, err.Error())
-			return
-		}
 		s.storeError(w, err)
 		return
 	}
@@ -702,7 +729,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	spans, dropped := s.tracer.Trace(id)
 	if len(spans) == 0 && dropped == 0 {
 		if _, ok := s.jobs.get(id); !ok {
-			s.error(w, http.StatusNotFound, fmt.Sprintf("no trace for job %q", id))
+			s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no trace for job %q", id))
 			return
 		}
 	}

@@ -41,14 +41,14 @@ const (
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		// Cannot happen behind net/http (its ResponseWriter always flushes),
 		// but an embedder's middleware might swallow the interface.
-		s.error(w, http.StatusInternalServerError, "streaming unsupported: response writer cannot flush")
+		s.error(w, http.StatusInternalServerError, ErrCodeInternal, "streaming unsupported: response writer cannot flush")
 		return
 	}
 	after := 0
@@ -97,7 +97,7 @@ var watchHTML []byte
 // route, so the HTML is one static immutable asset.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.jobs.get(r.PathValue("id")); !ok {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		s.error(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

@@ -17,6 +17,7 @@ type Set struct {
 	Store    *StoreMetrics
 	Jobs     *JobMetrics
 	SSE      *SSEMetrics
+	Fabric   *FabricMetrics
 }
 
 // Nop is the disabled sensor grid: every group is nil and every recording
@@ -79,6 +80,13 @@ func NewSet() *Set {
 			events:      r.Counter("wb_sse_events_total", "SSE events published to job event streams (rendered once, broadcast as bytes)."),
 			dropped:     r.Counter("wb_sse_dropped_events_total", "SSE events dropped because a slow subscriber's queue was full at publish time."),
 			evicted:     r.Counter("wb_sse_evicted_subscribers_total", "SSE subscribers evicted for falling behind the event stream."),
+		},
+		Fabric: &FabricMetrics{
+			shardsInFlight: r.Gauge("wb_fabric_shards_in_flight", "Fabric shards currently submitted to a worker and not yet fully merged."),
+			resubmissions:  r.Counter("wb_fabric_resubmissions_total", "Fabric shard submissions beyond the first attempt: failure retries and work-stealing duplicates."),
+			workers:        r.GaugeVec("wb_fabric_workers", "Fabric worker endpoints by health state.", "state"),
+			mergeLag:       r.Gauge("wb_fabric_merge_lag_cells", "Cells received by the fabric merger but not yet emitted in matrix order."),
+			cellsDeduped:   r.Counter("wb_fabric_cells_deduped_total", "Duplicate cells discarded by the fabric merger (overlapping shard attempts)."),
 		},
 	}
 }
@@ -339,6 +347,73 @@ func (m *SSEMetrics) Counts() (subscribers, events, dropped, evicted int64) {
 		return 0, 0, 0, 0
 	}
 	return m.subscribers.Value(), m.events.Value(), m.dropped.Value(), m.evicted.Value()
+}
+
+// FabricMetrics instruments the distributed campaign coordinator: shard
+// flow, re-submission pressure, worker health and merge lag.
+type FabricMetrics struct {
+	shardsInFlight *Gauge
+	resubmissions  *Counter
+	workers        *GaugeVec
+	mergeLag       *Gauge
+	cellsDeduped   *Counter
+}
+
+// ShardInFlight shifts the in-flight shard gauge (+1 on submission to a
+// worker, -1 when the attempt ends).
+func (m *FabricMetrics) ShardInFlight(delta int64) {
+	if m == nil {
+		return
+	}
+	m.shardsInFlight.Add(delta)
+}
+
+// Resubmitted records one shard submission beyond the shard's first —
+// a retry after failure or a work-stealing duplicate.
+func (m *FabricMetrics) Resubmitted() {
+	if m == nil {
+		return
+	}
+	m.resubmissions.Inc()
+}
+
+// Resubmissions returns the lifetime re-submission total (tests, CI).
+func (m *FabricMetrics) Resubmissions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.resubmissions.Value()
+}
+
+// WorkerState moves one worker between health states on the labeled
+// gauge; "" for from or to skips that side (first observation, removal).
+func (m *FabricMetrics) WorkerState(from, to string) {
+	if m == nil {
+		return
+	}
+	if from != "" {
+		m.workers.With(from).Add(-1)
+	}
+	if to != "" {
+		m.workers.With(to).Add(1)
+	}
+}
+
+// MergeLag sets the merger's backlog: cells received but not yet
+// emitted in matrix order.
+func (m *FabricMetrics) MergeLag(cells int64) {
+	if m == nil {
+		return
+	}
+	m.mergeLag.Set(cells)
+}
+
+// CellDeduped records one duplicate cell discarded by the merger.
+func (m *FabricMetrics) CellDeduped() {
+	if m == nil {
+		return
+	}
+	m.cellsDeduped.Inc()
 }
 
 // JobMetrics instruments the HTTP job API's lifetime counters. Monotonic
