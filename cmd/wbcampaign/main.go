@@ -55,6 +55,7 @@ import (
 	"repro/campaign"
 	"repro/client"
 	"repro/fabric"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 	"repro/registry"
 	"repro/store"
@@ -268,6 +269,7 @@ func runCmd(args []string) {
 	}
 
 	set := telemetry.NewSet()
+	scenario.SetMetrics(set.Scenario)
 	runStart := time.Now()
 	var rep *campaign.Report
 	if len(workerURLs) > 0 {

@@ -32,7 +32,7 @@ func main() {
 		k         = flag.Int("k", 2, "degeneracy bound / MIS root / subgraph prefix length")
 		p         = flag.Float64("p", 0.3, "edge probability for random graphs")
 		seed      = flag.Int64("seed", 1, "random seed for graphs and the random adversary")
-		advName   = flag.String("adversary", "min", "adversary: "+registry.FlagHelp(registry.Adversaries())+" (e.g. stubborn:3, scripted:3,1,2)")
+		advName   = flag.String("adversary", "min", "adversary: "+registry.FlagHelp(registry.Adversaries())+" (e.g. stubborn:3, scripted:3,1,2, script:pick(round))")
 		engName   = flag.String("engine", "seq", "engine: seq|concurrent")
 		force     = flag.String("force-model", "", "override model: SIMASYNC|SIMSYNC|ASYNC|SYNC")
 		trace     = flag.Bool("trace", false, "print every write event")

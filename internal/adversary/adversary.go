@@ -24,6 +24,16 @@ type Adversary interface {
 	Choose(round int, candidates []int, b *core.Board) int
 }
 
+// Faulter is implemented by adversaries that can fail internally (e.g. a
+// scenario script exhausting its evaluation budget). Such an adversary
+// signals failure by returning a non-candidate from Choose; the engine,
+// on seeing the invalid choice, asks Fault for the underlying cause and
+// fails the run with it.
+type Faulter interface {
+	// Fault returns the failure that invalidated the last Choose, or nil.
+	Fault() error
+}
+
 // MinID always picks the smallest candidate identifier.
 type MinID struct{}
 

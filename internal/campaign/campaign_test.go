@@ -160,6 +160,42 @@ func TestValidateRejectsTypos(t *testing.T) {
 	}
 }
 
+// TestValidateScriptRules pins spec-load validation of scenario scripts:
+// compile errors surface at validation time with their position, a
+// spec-level script must be referenced by a bare "script" adversary (a
+// stray field must not silently change the hash), and exhaustive mode
+// admits no adversary script at all.
+func TestValidateScriptRules(t *testing.T) {
+	spec := testSpec()
+	spec.Adversaries = []string{"script:candiates[0]"}
+	if _, err := Run(spec, Options{}); err == nil || !strings.Contains(err.Error(), "script:1:1") {
+		t.Errorf("script typo: got %v, want positioned error", err)
+	}
+	spec = testSpec()
+	spec.Adversaries = []string{"script"}
+	if _, err := Run(spec, Options{}); err == nil || !strings.Contains(err.Error(), "script") {
+		t.Errorf(`bare "script" without a spec script: got %v`, err)
+	}
+	spec = testSpec()
+	spec.Script = "min(candidates)" // nothing references it
+	if _, err := Run(spec, Options{}); err == nil || !strings.Contains(err.Error(), "no adversary") {
+		t.Errorf("unreferenced spec script: got %v", err)
+	}
+	spec = testSpec()
+	spec.Protocols = []string{"gate:bfs:degre > 1"}
+	if _, err := Run(spec, Options{}); err == nil || !strings.Contains(err.Error(), "script:1:1") {
+		t.Errorf("gate predicate typo: got %v, want positioned error", err)
+	}
+	spec = Spec{
+		Protocols: []string{"mis"}, Graphs: []string{"path"},
+		Adversaries: []string{"script:min(candidates)"}, Sizes: []int{4},
+		Mode: "exhaustive",
+	}
+	if _, err := Run(spec, Options{}); err == nil || !strings.Contains(err.Error(), "exhaustive") {
+		t.Errorf("exhaustive scripted spec: got %v", err)
+	}
+}
+
 func TestLoadSpecRejectsUnknownFields(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "spec.json")

@@ -404,7 +404,7 @@ func runJob(runner *engine.Runner, rng *rand.Rand, spec Spec, job Job, em *telem
 	// a "random" adversary seeded with the graph's seed would replay the
 	// very PRNG stream that drew the graph's edges, correlating schedule
 	// with structure.
-	params := registry.Params{N: job.N, K: spec.K, P: spec.P, Seed: job.Seed}
+	params := registry.Params{N: job.N, K: spec.K, P: spec.P, Seed: job.Seed, Script: spec.Script}
 	rng.Seed(job.Seed)
 	g, err := registry.NewGraph(job.Graph, params, rng)
 	if err != nil {

@@ -33,6 +33,13 @@ type Spec struct {
 	Protocols   []string `json:"protocols"`
 	Graphs      []string `json:"graphs"`
 	Adversaries []string `json:"adversaries,omitempty"`
+	// Script is an inline scenario-DSL writer-choice script, referenced by
+	// the bare "script" adversary name; it exists so a long script need not
+	// be squeezed into a colon-argument. Exactly like a "script:<expr>"
+	// adversary string, the source participates in the normalized spec
+	// hash. Validation rejects a Script no adversary references, so a stray
+	// field can never silently change a spec's identity.
+	Script string `json:"script,omitempty"`
 	// Sizes is the node-count sweep.
 	Sizes []int `json:"sizes"`
 	// Models optionally forces each run under a model ("SIMASYNC", "SIMSYNC",
@@ -158,6 +165,9 @@ func (s Spec) Validate() error {
 		if len(s.Adversaries) > 0 {
 			return fmt.Errorf("campaign: adversaries: exhaustive mode enumerates every schedule; remove the adversaries axis")
 		}
+		if s.Script != "" {
+			return fmt.Errorf("campaign: script: exhaustive mode enumerates every schedule; no adversary script can choose")
+		}
 		if s.MaxSteps < 1 {
 			return fmt.Errorf("campaign: max_steps must be ≥ 1, got %d", s.MaxSteps)
 		}
@@ -170,6 +180,18 @@ func (s Spec) Validate() error {
 		}
 		if s.Memoize != nil {
 			return fmt.Errorf("campaign: memoize is only meaningful in exhaustive mode")
+		}
+		if s.Script != "" {
+			referenced := false
+			for _, name := range s.Adversaries {
+				if name == "script" {
+					referenced = true
+					break
+				}
+			}
+			if !referenced {
+				return fmt.Errorf(`campaign: script: set, but no adversary is the bare "script" name that would run it`)
+			}
 		}
 	}
 	if s.Seeds < 1 {
@@ -201,7 +223,7 @@ func (s Spec) Validate() error {
 	if probeN > 64 {
 		probeN = 64
 	}
-	params := registry.Params{N: probeN, K: s.K, P: s.P, Seed: 1}
+	params := registry.Params{N: probeN, K: s.K, P: s.P, Seed: 1, Script: s.Script}
 	for _, name := range s.Protocols {
 		if err := probe("protocols", func() error {
 			_, err := registry.NewProtocol(name, params)

@@ -152,6 +152,9 @@ func RunConcurrent(p core.Protocol, g *graph.Graph, adv adversary.Adversary, opt
 		}
 		chosen := adv.Choose(round, candidates, board)
 		if !contains(candidates, chosen) {
+			if f, ok := adv.(adversary.Faulter); ok && f.Fault() != nil {
+				return fail(fmt.Errorf("engine: adversary failed: %w", f.Fault()))
+			}
 			return fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
 		}
 		cmds[chosen] <- command{kind: 1, board: board}

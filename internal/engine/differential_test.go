@@ -22,9 +22,14 @@ func TestMemoizedMatchesNaiveAllRegistered(t *testing.T) {
 	models := []string{"native", "SIMASYNC", "SIMSYNC", "ASYNC", "SYNC"}
 	for _, pname := range registry.Protocols() {
 		spec := pname
-		if pname == "lemma4" {
+		switch pname {
+		case "lemma4":
 			// lemma4 is an arg-requiring wrapper; exercise it over mis.
 			spec = "lemma4:mis"
+		case "gate":
+			// gate is an arg-requiring wrapper; exercise a predicate that
+			// delays but never permanently silences a node.
+			spec = "gate:mis:id % 2 == 1 or boardlen * 2 >= n"
 		}
 		for _, gname := range graphs {
 			for n := 2; n <= 5; n++ {

@@ -151,6 +151,12 @@ func runInto(p core.Protocol, views []core.NodeView, adv adversary.Adversary, op
 		}
 		chosen := adv.Choose(round, candidates, board)
 		if !contains(candidates, chosen) {
+			// A faulting adversary (e.g. a scenario script over budget)
+			// deliberately returns a non-candidate; surface its cause.
+			if f, ok := adv.(adversary.Faulter); ok && f.Fault() != nil {
+				fail(fmt.Errorf("engine: adversary failed: %w", f.Fault()))
+				return
+			}
 			fail(fmt.Errorf("engine: adversary %q chose %d, not a candidate %v", adv.Name(), chosen, candidates))
 			return
 		}

@@ -20,6 +20,7 @@ package fabric
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -376,6 +377,18 @@ func (co *coordinator) settle(sh *shard, w *worker, err error) {
 	}
 	sh.failures++
 	co.logf("fabric: shard [%d,%d) attempt on %s failed: %v", sh.start, sh.end, w.url, err)
+	// A spec the server rejects as malformed is permanently rejected:
+	// every worker compiles the same source, so retrying or re-routing a
+	// bad_script (or any bad-request-class) refusal would just burn
+	// maxFailures attempts reaching the same answer.
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case "bad_script", "bad_spec", "bad_request", "bad_label":
+			co.fail(fmt.Errorf("fabric: shard [%d,%d) rejected by %s: %w", sh.start, sh.end, w.url, err))
+			return
+		}
+	}
 	if sh.failures >= co.maxFailures {
 		co.fail(fmt.Errorf("fabric: shard [%d,%d) failed %d attempts, last on %s: %w",
 			sh.start, sh.end, sh.failures, w.url, err))

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -185,5 +186,63 @@ func TestRunRejectsBadInput(t *testing.T) {
 	bad := campaign.Spec{}
 	if _, err := Run(t.Context(), bad, fastOptions([]string{"http://localhost:1"})); err == nil {
 		t.Error("run with an invalid spec succeeded")
+	}
+}
+
+// TestFleetMatchesLocalScriptedRun extends the distributed equivalence pin
+// to the scenario DSL: a spec exercising script adversaries, the scripted
+// sugar, the spec-level script field and a gated protocol assembles the
+// same bytes from a worker fleet as from a local run — the workers
+// re-compile the scripts independently and must land identical cells.
+func TestFleetMatchesLocalScriptedRun(t *testing.T) {
+	spec := campaign.Spec{
+		Name:        "fabric-scripted",
+		Protocols:   []string{"bfs", "gate:mis:id >= 1"},
+		Graphs:      []string{"path", "gnp"},
+		Adversaries: []string{"script:pick(round)", "scripted:3,1,2", "script"},
+		Script:      "lastwriter == -1 ? max(candidates) : min(candidates)",
+		Sizes:       []int{4, 5},
+		Seeds:       2,
+		P:           0.5,
+	}
+	rep, err := campaign.Run(spec, campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := rep.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{newWorker(t), newWorker(t)}
+	opts := fastOptions(urls)
+	opts.Shards = 4
+	fleet, err := Run(t.Context(), spec, opts)
+	if err != nil {
+		t.Fatalf("fabric run of scripted spec: %v", err)
+	}
+	var got bytes.Buffer
+	if err := fleet.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("fleet report for scripted spec differs from local run")
+	}
+}
+
+// TestFleetFastFailsOnBadScript pins the coordinator's fail-fast path: a
+// spec whose script cannot compile is rejected by every worker with the
+// bad_script envelope, and the coordinator surfaces the script error
+// immediately instead of burning the retry budget on resubmissions.
+func TestFleetFastFailsOnBadScript(t *testing.T) {
+	spec := testSpec()
+	spec.Adversaries = []string{"script:candiates[0]"}
+	ctx, cancel := context.WithTimeout(t.Context(), 10*time.Second)
+	defer cancel()
+	_, err := Run(ctx, spec, fastOptions([]string{newWorker(t)}))
+	if err == nil {
+		t.Fatal("bad script accepted by fleet")
+	}
+	if !strings.Contains(err.Error(), "candidates") {
+		t.Errorf("error does not carry the script diagnostic: %v", err)
 	}
 }

@@ -1,0 +1,54 @@
+// modular.go: the small modular-arithmetic kernel shared by the power-sum
+// machinery's callers and the scenario DSL's mod/powmod stdlib functions.
+package numtheory
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mod returns the mathematical (always non-negative) residue a mod m for
+// m > 0: the unique r in [0, m) with a ≡ r (mod m). Unlike Go's %, the
+// result never takes a's sign.
+func Mod(a, m int64) (int64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("numtheory: mod wants a positive modulus, got %d", m)
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r, nil
+}
+
+// PowMod returns base^exp mod m for exp ≥ 0 and m > 0, by square-and-
+// multiply with 128-bit intermediate products, so it is exact for every
+// int64 modulus.
+func PowMod(base, exp, m int64) (int64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("numtheory: powmod wants a positive modulus, got %d", m)
+	}
+	if exp < 0 {
+		return 0, fmt.Errorf("numtheory: powmod wants a non-negative exponent, got %d", exp)
+	}
+	b, err := Mod(base, m)
+	if err != nil {
+		return 0, err
+	}
+	result := int64(1 % m)
+	for e := uint64(exp); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = mulMod(result, b, m)
+		}
+		b = mulMod(b, b, m)
+	}
+	return result, nil
+}
+
+// mulMod returns a*b mod m for 0 ≤ a, b < m, m > 0, via a 128-bit product.
+func mulMod(a, b, m int64) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// hi < m because a, b < m ≤ 2^63, so Div64 cannot panic.
+	_, rem := bits.Div64(hi, lo, uint64(m))
+	return int64(rem)
+}

@@ -1,0 +1,98 @@
+package numtheory
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestMod(t *testing.T) {
+	cases := []struct {
+		a, m, want int64
+	}{
+		{7, 5, 2},
+		{-7, 5, 3},
+		{-5, 5, 0},
+		{0, 1, 0},
+		{math.MinInt64, 7, func() int64 {
+			r := new(big.Int).Mod(big.NewInt(math.MinInt64), big.NewInt(7))
+			return r.Int64()
+		}()},
+		{math.MaxInt64, 10, 7},
+	}
+	for _, c := range cases {
+		got, err := Mod(c.a, c.m)
+		if err != nil {
+			t.Errorf("Mod(%d, %d): %v", c.a, c.m, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.a, c.m, got, c.want)
+		}
+	}
+	for _, m := range []int64{0, -3} {
+		if _, err := Mod(1, m); err == nil {
+			t.Errorf("Mod(1, %d): expected error", m)
+		}
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct {
+		b, e, m, want int64
+	}{
+		{2, 10, 1000, 24},
+		{2, 10, 1023, 1},
+		{0, 0, 7, 1}, // 0^0 = 1 by the usual convention
+		{5, 0, 7, 1},
+		{0, 5, 7, 0},
+		{-2, 3, 7, 6},             // (-8) mod 7
+		{3, 63, math.MaxInt64, 0}, // exercises the 128-bit reduction path
+	}
+	for _, c := range cases {
+		want := c.want
+		if c.b == 3 { // compute the big case honestly
+			r := new(big.Int).Exp(big.NewInt(c.b), big.NewInt(c.e), big.NewInt(c.m))
+			want = r.Int64()
+		}
+		got, err := PowMod(c.b, c.e, c.m)
+		if err != nil {
+			t.Errorf("PowMod(%d, %d, %d): %v", c.b, c.e, c.m, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("PowMod(%d, %d, %d) = %d, want %d", c.b, c.e, c.m, got, want)
+		}
+	}
+	if _, err := PowMod(2, -1, 7); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := PowMod(2, 3, 0); err == nil {
+		t.Error("zero modulus accepted")
+	}
+}
+
+// TestPowModAgainstBig cross-checks the square-and-multiply ladder against
+// math/big over a grid that includes moduli past 2³², where naive 64-bit
+// multiplication would overflow.
+func TestPowModAgainstBig(t *testing.T) {
+	moduli := []int64{2, 97, 1 << 31, (1 << 62) - 57, math.MaxInt64}
+	bases := []int64{0, 1, 2, -3, 1 << 40, math.MaxInt64}
+	exps := []int64{0, 1, 2, 3, 64, 12345}
+	for _, m := range moduli {
+		for _, b := range bases {
+			for _, e := range exps {
+				got, err := PowMod(b, e, m)
+				if err != nil {
+					t.Fatalf("PowMod(%d, %d, %d): %v", b, e, m, err)
+				}
+				want := new(big.Int).Exp(
+					new(big.Int).Mod(big.NewInt(b), big.NewInt(m)),
+					big.NewInt(e), big.NewInt(m)).Int64()
+				if got != want {
+					t.Fatalf("PowMod(%d, %d, %d) = %d, want %d", b, e, m, got, want)
+				}
+			}
+		}
+	}
+}

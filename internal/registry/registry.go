@@ -31,6 +31,8 @@ import (
 	"repro/internal/protocols/subgraphf"
 	"repro/internal/protocols/twocliques"
 	"repro/internal/reductions"
+	"repro/internal/scenario"
+	"repro/internal/suggest"
 )
 
 // Params carries the shared construction parameters. Every builder reads
@@ -44,6 +46,10 @@ type Params struct {
 	P    float64 // edge probability for random generators
 	Seed int64   // seed for graph RNGs, the random adversary, and randomized protocols
 	Arg  string  // colon-argument of the name ("stubborn:3" → "3")
+	// Script is the campaign spec's inline scenario script; the bare
+	// "script" adversary compiles it when its name carries no
+	// colon-argument of its own.
+	Script string
 }
 
 // Defaults substitutes N=10 when N is unset; every other field is
@@ -264,21 +270,48 @@ func init() {
 			}
 			return adversary.Stubborn{Victim: victim, Inner: adversary.MinID{}}, nil
 		}})
-	registerAdversary(AdversaryEntry{"scripted", "scripted:<v1,v2,...> replays a fixed total write order", "arg",
+	registerAdversary(AdversaryEntry{"scripted", "scripted:<v1,v2,...> replays a fixed total write order (sugar for script:prefer(v1,...,vk))", "arg",
 		func(p Params) (adversary.Adversary, error) {
 			if p.Arg == "" {
 				return nil, fmt.Errorf("registry: scripted wants a comma-separated order, e.g. scripted:3,1,2")
 			}
-			parts := strings.Split(p.Arg, ",")
-			order := make([]int, len(parts))
-			for i, s := range parts {
-				v, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil {
-					return nil, fmt.Errorf("registry: scripted order element %q is not a node id", s)
-				}
-				order[i] = v
+			prog, err := scenario.CompileChoose("prefer(" + p.Arg + ")")
+			if err != nil {
+				return nil, fmt.Errorf("registry: scripted order %q: %w", p.Arg, err)
 			}
-			return adversary.NewScripted(order), nil
+			return scenario.NewAdversary(prog)
+		}})
+	registerAdversary(AdversaryEntry{"script", `script:<expr> compiles a scenario-DSL writer-choice expression (see the README's "Scripted scenarios"); the bare name "script" reads the spec's script field`, "arg, script",
+		func(p Params) (adversary.Adversary, error) {
+			src := p.Arg
+			if src == "" {
+				src = p.Script
+			}
+			if src == "" {
+				return nil, fmt.Errorf(`registry: script wants an expression (script:<expr>) or a spec-level "script" field`)
+			}
+			prog, err := scenario.CompileChoose(src)
+			if err != nil {
+				return nil, fmt.Errorf("registry: adversary script: %w", err)
+			}
+			return scenario.NewAdversary(prog)
+		}})
+
+	registerProtocol(ProtocolEntry{"gate", "gate:<inner>:<pred> wraps a protocol with a scenario-DSL activation predicate over (id, n, degree, boardlen); the inner name must be colon-free", "arg",
+		func(p Params) (core.Protocol, error) {
+			innerName, pred, ok := strings.Cut(p.Arg, ":")
+			if !ok || innerName == "" || pred == "" {
+				return nil, fmt.Errorf("registry: gate wants gate:<inner>:<pred>, e.g. gate:bfs:id %% 2 == 1")
+			}
+			inner, err := NewProtocol(innerName, Params{N: p.N, K: p.K, P: p.P, Seed: p.Seed})
+			if err != nil {
+				return nil, err
+			}
+			prog, err := scenario.CompileActivate(pred)
+			if err != nil {
+				return nil, fmt.Errorf("registry: gate predicate: %w", err)
+			}
+			return scenario.NewGate(inner, prog)
 		}})
 }
 
@@ -411,60 +444,11 @@ func sortedKeys[E any](m map[string]E) []string {
 
 // unknown builds the "did you mean" error for a name miss.
 func unknown(kind, name string, known []string) error {
-	if s := closest(name, known); s != "" {
+	if s := suggest.Closest(name, known); s != "" {
 		return fmt.Errorf("registry: unknown %s %q (did you mean %q? known: %s)",
 			kind, name, s, strings.Join(known, ", "))
 	}
 	return fmt.Errorf("registry: unknown %s %q (known: %s)", kind, name, strings.Join(known, ", "))
-}
-
-// closest returns the known name with the smallest edit distance, if it is
-// close enough to plausibly be a typo.
-func closest(name string, known []string) string {
-	best, bestD := "", 1<<30
-	for _, k := range known {
-		if d := editDistance(strings.ToLower(name), strings.ToLower(k)); d < bestD {
-			best, bestD = k, d
-		}
-	}
-	limit := len(name)/2 + 1
-	if limit > 3 {
-		limit = 3
-	}
-	if bestD <= limit {
-		return best
-	}
-	return ""
-}
-
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
 }
 
 func isPrime(q int) bool {

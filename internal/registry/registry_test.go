@@ -12,6 +12,7 @@ import (
 func TestEveryProtocolConstructsWithDefaults(t *testing.T) {
 	specFor := map[string]string{
 		"lemma4": "lemma4:mis",
+		"gate":   "gate:mis:id >= 1",
 	}
 	for _, name := range Protocols() {
 		spec := name
@@ -61,6 +62,7 @@ func TestEveryAdversaryConstructsWithDefaults(t *testing.T) {
 	specFor := map[string]string{
 		"stubborn": "stubborn:3",
 		"scripted": "scripted:3,1,2",
+		"script":   "script:min(candidates)",
 	}
 	for _, name := range Adversaries() {
 		spec := name
@@ -96,9 +98,11 @@ func TestScriptedAdversaryOrder(t *testing.T) {
 
 func TestBadColonArguments(t *testing.T) {
 	for _, spec := range []string{"stubborn:", "stubborn:xyz", "scripted:", "scripted:1,a", "rand-cliques:0", "rand-cliques:x",
-		"lemma4:", "lemma4:nope", "lemma4:bfs" /* bfs is SYNC, not SIMSYNC */} {
+		"lemma4:", "lemma4:nope", "lemma4:bfs", /* bfs is SYNC, not SIMSYNC */
+		"script:", "script:1 +", "script:id > 0", /* activate-mode variable in choose mode */
+		"gate:", "gate:mis", "gate:nope:id >= 1", "gate:mis:min(candidates)" /* choose-mode call in a predicate */} {
 		var err error
-		if strings.HasPrefix(spec, "rand-cliques") || strings.HasPrefix(spec, "lemma4") {
+		if strings.HasPrefix(spec, "rand-cliques") || strings.HasPrefix(spec, "lemma4") || strings.HasPrefix(spec, "gate") {
 			_, err = NewProtocol(spec, Params{})
 		} else {
 			_, err = NewAdversary(spec, Params{})

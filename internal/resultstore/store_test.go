@@ -86,6 +86,29 @@ func TestSpecHashNormalizes(t *testing.T) {
 	}
 }
 
+// TestSpecHashCoversScript pins the content-addressing contract for
+// scripted scenarios: the script source is part of the normalized spec, so
+// changing a single token — or moving the same expression between the
+// spec-level field and the adversary spec — changes the hash.
+func TestSpecHashCoversScript(t *testing.T) {
+	base := campaign.Spec{
+		Protocols: []string{"bfs"}, Graphs: []string{"path"},
+		Adversaries: []string{"script"}, Sizes: []int{4},
+		Script: "min(candidates)",
+	}
+	oneToken := base
+	oneToken.Script = "max(candidates)"
+	if SpecHash(base) == SpecHash(oneToken) {
+		t.Error("one-token script change did not change the spec hash")
+	}
+	inline := base
+	inline.Adversaries = []string{"script:min(candidates)"}
+	inline.Script = ""
+	if SpecHash(base) == SpecHash(inline) {
+		t.Error("spec-level and inline script forms hash identically")
+	}
+}
+
 func TestSaveRefusesDuplicateLabelAndBadLabels(t *testing.T) {
 	st, err := Open(t.TempDir())
 	if err != nil {

@@ -1,0 +1,124 @@
+package scenario
+
+// adversary.go: the bridges from compiled programs to the engine's two
+// extension points — the write-order adversary and the activation
+// predicate.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Adversary adapts a writer-choice program to the engine's adversary
+// interface. A script failure (budget exhaustion, division by zero, a
+// choice outside the candidate set) is recorded as the adapter's fault
+// and the adapter returns -1 — never a valid candidate, node identifiers
+// are 1-based — so the engine's candidate check trips and surfaces the
+// recorded fault through the adversary.Faulter interface, failing the
+// run instead of hanging or silently rescheduling. Stateful (it tracks
+// the last writer); create one per run, which is what the registry
+// builders do.
+type Adversary struct {
+	prog  *Program
+	last  int
+	fault error
+}
+
+// NewAdversary wraps a ModeChoose program.
+func NewAdversary(prog *Program) (*Adversary, error) {
+	if prog.Mode() != ModeChoose {
+		return nil, fmt.Errorf("scenario: adversary wants a writer-choice program, got an activation predicate")
+	}
+	return &Adversary{prog: prog, last: -1}, nil
+}
+
+// Name identifies the adversary in reports: "script:" plus the source.
+func (a *Adversary) Name() string { return "script:" + a.prog.Source() }
+
+// Choose evaluates the script for this round.
+func (a *Adversary) Choose(round int, candidates []int, b *core.Board) int {
+	if a.fault != nil {
+		return -1
+	}
+	boardLen := 0
+	if b != nil { // registry smoke probes call Choose boardless
+		boardLen = b.Len()
+	}
+	choice, err := a.prog.EvalChoose(round, candidates, boardLen, a.last)
+	if err != nil {
+		a.fault = err
+		return -1
+	}
+	for _, c := range candidates {
+		if c == choice {
+			a.last = choice
+			return choice
+		}
+	}
+	a.fault = errAt(a.prog.src, a.prog.root.pos(),
+		"script chose %d, which is not among the candidates %v", choice, candidates)
+	return -1
+}
+
+// Fault returns the script failure that made Choose return an invalid
+// candidate, or nil. Implements adversary.Faulter.
+func (a *Adversary) Fault() error { return a.fault }
+
+// Gate wraps a protocol with a compiled activation predicate: a node
+// raises its hand only when both the inner protocol and the predicate
+// (over id, n, degree, boardlen) agree. Because gating can silence nodes
+// on the empty board, the declared model is lifted out of the
+// simultaneous class — SIMASYNC becomes ASYNC and SIMSYNC becomes SYNC —
+// so the engine's structural checks match what the wrapper actually
+// does. A predicate evaluation failure panics with the positioned script
+// error; the campaign runner's per-job recover turns that into a Failed
+// trial, the same terminal state as a budget-exhausted adversary script.
+type Gate struct {
+	inner core.Protocol
+	pred  *Program
+}
+
+// NewGate wraps inner with a ModeActivate predicate.
+func NewGate(inner core.Protocol, pred *Program) (*Gate, error) {
+	if pred.Mode() != ModeActivate {
+		return nil, fmt.Errorf("scenario: gate wants an activation predicate, got a writer-choice program")
+	}
+	return &Gate{inner: inner, pred: pred}, nil
+}
+
+// Name identifies the gated protocol in reports.
+func (g *Gate) Name() string { return "gate(" + g.inner.Name() + ")" }
+
+// Model lifts the inner protocol's model out of the simultaneous class.
+func (g *Gate) Model() core.Model {
+	switch m := g.inner.Model(); m {
+	case core.SimAsync:
+		return core.Async
+	case core.SimSync:
+		return core.Sync
+	default:
+		return m
+	}
+}
+
+// MaxMessageBits delegates to the inner protocol.
+func (g *Gate) MaxMessageBits(n int) int { return g.inner.MaxMessageBits(n) }
+
+// Activate gates the inner protocol's activation with the predicate.
+func (g *Gate) Activate(v core.NodeView, b *core.Board) bool {
+	if !g.inner.Activate(v, b) {
+		return false
+	}
+	ok, err := g.pred.EvalActivate(v.ID, v.N, v.Degree(), b.Len())
+	if err != nil {
+		panic(fmt.Errorf("scenario: gate predicate: %w", err))
+	}
+	return ok
+}
+
+// Compose delegates to the inner protocol.
+func (g *Gate) Compose(v core.NodeView, b *core.Board) core.Message { return g.inner.Compose(v, b) }
+
+// Output delegates to the inner protocol.
+func (g *Gate) Output(n int, b *core.Board) (any, error) { return g.inner.Output(n, b) }

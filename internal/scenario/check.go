@@ -1,0 +1,380 @@
+package scenario
+
+// check.go: the static type checker. Every expression is int, bool or
+// list; the only list value is the candidates variable, so list-typed
+// expressions never nest (a ternary or function cannot produce one).
+// Unknown identifiers get a "did you mean" suggestion over everything
+// nameable at that point — mode variables, stdlib functions, user
+// functions and parameters — via the same helper the registry uses for
+// component names.
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/suggest"
+)
+
+type typ int
+
+const (
+	tInt typ = iota
+	tBool
+	tList
+)
+
+func (t typ) String() string {
+	switch t {
+	case tInt:
+		return "int"
+	case tBool:
+		return "bool"
+	default:
+		return "list"
+	}
+}
+
+// builtin describes one stdlib function for the checker and the docs.
+type builtin struct {
+	sig        string // human-readable signature for errors and README
+	chooseOnly bool   // reads candidates implicitly (unavailable to activation predicates)
+}
+
+// builtins is the fixed stdlib. min and max are special-cased in
+// checkCall: they take either one list or ≥2 ints.
+var builtins = map[string]builtin{
+	"len":    {sig: "len(list) int"},
+	"min":    {sig: "min(list) int | min(int, int, ...) int"},
+	"max":    {sig: "max(list) int | max(int, int, ...) int"},
+	"argmin": {sig: "argmin(list) int"},
+	"argmax": {sig: "argmax(list) int"},
+	"pick":   {sig: "pick(int) int", chooseOnly: true},
+	"prefer": {sig: "prefer(int, ...) int", chooseOnly: true},
+	"has":    {sig: "has(int) bool", chooseOnly: true},
+	"mod":    {sig: "mod(int, int) int"},
+	"powmod": {sig: "powmod(int, int, int) int"},
+}
+
+// modeVars returns the variable environment for a mode.
+func modeVars(mode Mode) map[string]typ {
+	if mode == ModeActivate {
+		return map[string]typ{"id": tInt, "n": tInt, "degree": tInt, "boardlen": tInt}
+	}
+	return map[string]typ{"round": tInt, "boardlen": tInt, "lastwriter": tInt, "candidates": tList}
+}
+
+type checker struct {
+	prog *Program
+	vars map[string]typ
+	defs map[string]*defNode
+}
+
+// check type-checks the whole program: all function signatures first (so
+// functions may call themselves and each other), then each body, then
+// the result expression against the mode's required type.
+func check(prog *Program) *Error {
+	c := &checker{prog: prog, vars: modeVars(prog.mode), defs: map[string]*defNode{}}
+	for _, d := range prog.defs {
+		if _, dup := c.defs[d.name]; dup {
+			return errAt(prog.src, d.p, "function %s is defined twice", d.name)
+		}
+		if _, isB := builtins[d.name]; isB {
+			return errAt(prog.src, d.p, "cannot redefine built-in function %s", d.name)
+		}
+		if _, isV := c.vars[d.name]; isV {
+			return errAt(prog.src, d.p, "function name %s shadows a built-in variable", d.name)
+		}
+		seen := map[string]bool{}
+		for _, param := range d.params {
+			if seen[param] {
+				return errAt(prog.src, d.p, "function %s repeats parameter %s", d.name, param)
+			}
+			seen[param] = true
+			if _, isV := c.vars[param]; isV {
+				return errAt(prog.src, d.p, "parameter %s shadows a built-in variable", param)
+			}
+			if _, isB := builtins[param]; isB {
+				return errAt(prog.src, d.p, "parameter %s shadows a built-in function", param)
+			}
+		}
+		c.defs[d.name] = d
+	}
+	for _, d := range prog.defs {
+		params := map[string]typ{}
+		for _, param := range d.params {
+			params[param] = tInt
+		}
+		t, err := c.expr(d.body, params)
+		if err != nil {
+			return err
+		}
+		if t != tInt {
+			return errAt(prog.src, d.body.pos(), "function %s must return int, not %s", d.name, t)
+		}
+	}
+	want := tInt
+	if prog.mode == ModeActivate {
+		want = tBool
+	}
+	t, err := c.expr(prog.root, nil)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return errAt(prog.src, prog.root.pos(), "the result expression must be %s, not %s", want, t)
+	}
+	return nil
+}
+
+// expr returns the type of n under the given parameter scope (nil at top
+// level; a function body sees only its parameters and the mode globals).
+func (c *checker) expr(n node, params map[string]typ) (typ, *Error) {
+	switch n := n.(type) {
+	case *intLit:
+		return tInt, nil
+	case *boolLit:
+		return tBool, nil
+	case *varRef:
+		if t, ok := params[n.name]; ok {
+			return t, nil
+		}
+		if t, ok := c.vars[n.name]; ok {
+			return t, nil
+		}
+		if _, ok := builtins[n.name]; ok {
+			return 0, errAt(c.prog.src, n.p, "%s is a function; call it with arguments", n.name)
+		}
+		if _, ok := c.defs[n.name]; ok {
+			return 0, errAt(c.prog.src, n.p, "%s is a function; call it with arguments", n.name)
+		}
+		return 0, c.unknown(n.p, n.name, params)
+	case *unaryNode:
+		t, err := c.expr(n.x, params)
+		if err != nil {
+			return 0, err
+		}
+		if n.op == "-" {
+			if t != tInt {
+				return 0, errAt(c.prog.src, n.p, "unary - wants int, got %s", t)
+			}
+			return tInt, nil
+		}
+		if t != tBool {
+			return 0, errAt(c.prog.src, n.p, "not wants bool, got %s", t)
+		}
+		return tBool, nil
+	case *binaryNode:
+		xt, err := c.expr(n.x, params)
+		if err != nil {
+			return 0, err
+		}
+		yt, err := c.expr(n.y, params)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "+", "-", "*", "/", "%":
+			if xt != tInt || yt != tInt {
+				return 0, errAt(c.prog.src, n.p, "%s wants int operands, got %s and %s", n.op, xt, yt)
+			}
+			return tInt, nil
+		case "and", "or":
+			if xt != tBool || yt != tBool {
+				return 0, errAt(c.prog.src, n.p, "%s wants bool operands, got %s and %s", n.op, xt, yt)
+			}
+			return tBool, nil
+		case "==", "!=":
+			if xt != yt || xt == tList {
+				return 0, errAt(c.prog.src, n.p, "%s wants two ints or two bools, got %s and %s", n.op, xt, yt)
+			}
+			return tBool, nil
+		default: // < <= > >=
+			if xt != tInt || yt != tInt {
+				return 0, errAt(c.prog.src, n.p, "%s wants int operands, got %s and %s", n.op, xt, yt)
+			}
+			return tBool, nil
+		}
+	case *ternaryNode:
+		ct, err := c.expr(n.cond, params)
+		if err != nil {
+			return 0, err
+		}
+		if ct != tBool {
+			return 0, errAt(c.prog.src, n.cond.pos(), "the ? condition must be bool, got %s", ct)
+		}
+		tt, err := c.expr(n.then, params)
+		if err != nil {
+			return 0, err
+		}
+		et, err := c.expr(n.else_, params)
+		if err != nil {
+			return 0, err
+		}
+		if tt != et || tt == tList {
+			return 0, errAt(c.prog.src, n.p, "? branches must both be int or both bool, got %s and %s", tt, et)
+		}
+		return tt, nil
+	case *indexNode:
+		xt, err := c.expr(n.x, params)
+		if err != nil {
+			return 0, err
+		}
+		if xt != tList {
+			return 0, errAt(c.prog.src, n.p, "only the candidates list can be indexed, got %s", xt)
+		}
+		it, err := c.expr(n.i, params)
+		if err != nil {
+			return 0, err
+		}
+		if it != tInt {
+			return 0, errAt(c.prog.src, n.i.pos(), "index must be int, got %s", it)
+		}
+		return tInt, nil
+	case *callNode:
+		return c.checkCall(n, params)
+	default:
+		return 0, errAt(c.prog.src, n.pos(), "internal: unknown node")
+	}
+}
+
+func (c *checker) checkCall(n *callNode, params map[string]typ) (typ, *Error) {
+	if d, ok := c.defs[n.name]; ok {
+		if len(n.args) != len(d.params) {
+			return 0, errAt(c.prog.src, n.p, "%s takes %d argument(s), got %d", n.name, len(d.params), len(n.args))
+		}
+		for _, a := range n.args {
+			t, err := c.expr(a, params)
+			if err != nil {
+				return 0, err
+			}
+			if t != tInt {
+				return 0, errAt(c.prog.src, a.pos(), "%s arguments must be int, got %s", n.name, t)
+			}
+		}
+		return tInt, nil
+	}
+	b, ok := builtins[n.name]
+	if !ok {
+		if _, isVar := c.vars[n.name]; isVar {
+			return 0, errAt(c.prog.src, n.p, "%s is a variable, not a function", n.name)
+		}
+		if _, isParam := params[n.name]; isParam {
+			return 0, errAt(c.prog.src, n.p, "%s is a parameter, not a function", n.name)
+		}
+		return 0, c.unknown(n.p, n.name, params)
+	}
+	if b.chooseOnly && c.prog.mode != ModeChoose {
+		return 0, errAt(c.prog.src, n.p, "%s reads the candidates list and is only available in writer-choice scripts", n.name)
+	}
+	types := make([]typ, len(n.args))
+	for i, a := range n.args {
+		t, err := c.expr(a, params)
+		if err != nil {
+			return 0, err
+		}
+		types[i] = t
+	}
+	ints := func(from int) *Error {
+		for i := from; i < len(types); i++ {
+			if types[i] != tInt {
+				return errAt(c.prog.src, n.args[i].pos(), "%s wants int here, got %s (signature: %s)", n.name, types[i], b.sig)
+			}
+		}
+		return nil
+	}
+	bad := func() *Error {
+		return errAt(c.prog.src, n.p, "wrong arguments for %s (signature: %s)", n.name, b.sig)
+	}
+	switch n.name {
+	case "len", "argmin", "argmax":
+		if len(types) != 1 || types[0] != tList {
+			return 0, bad()
+		}
+		return tInt, nil
+	case "min", "max":
+		if len(types) == 1 && types[0] == tList {
+			return tInt, nil
+		}
+		if len(types) < 2 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tInt, nil
+	case "pick":
+		if len(types) != 1 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tInt, nil
+	case "prefer":
+		if len(types) < 1 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tInt, nil
+	case "has":
+		if len(types) != 1 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tBool, nil
+	case "mod":
+		if len(types) != 2 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tInt, nil
+	default: // powmod
+		if len(types) != 3 {
+			return 0, bad()
+		}
+		if err := ints(0); err != nil {
+			return 0, err
+		}
+		return tInt, nil
+	}
+}
+
+// unknown builds the unknown-identifier error with a did-you-mean hint
+// over every name in scope.
+func (c *checker) unknown(pos int, name string, params map[string]typ) *Error {
+	var known []string
+	for v := range c.vars {
+		known = append(known, v)
+	}
+	for b := range builtins {
+		known = append(known, b)
+	}
+	for d := range c.defs {
+		known = append(known, d)
+	}
+	for p := range params {
+		known = append(known, p)
+	}
+	sort.Strings(known)
+	if s := suggest.Closest(name, known); s != "" {
+		return errAt(c.prog.src, pos, "unknown identifier %s (did you mean %s? known: %s)",
+			name, s, strings.Join(known, ", "))
+	}
+	return errAt(c.prog.src, pos, "unknown identifier %s (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Builtins returns the stdlib signatures, sorted — for help output.
+func Builtins() []string {
+	out := make([]string, 0, len(builtins))
+	for _, b := range builtins {
+		out = append(out, b.sig)
+	}
+	sort.Strings(out)
+	return out
+}

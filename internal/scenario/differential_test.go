@@ -1,0 +1,226 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// protocolSpec maps a bare registry name to a runnable spec string for the
+// entries whose bare name requires an argument.
+func protocolSpec(name string) string {
+	switch name {
+	case "lemma4":
+		return "lemma4:mis"
+	case "gate":
+		return "gate:mis:id >= 1"
+	}
+	return name
+}
+
+// buildGraph returns nil when the family rejects this n (some generators
+// panic below their minimum size, as campaign's recover shield expects);
+// rejection happens before any adversary runs, so skipping is sound.
+func buildGraph(graphSpec string, params registry.Params, seed int64) *graph.Graph {
+	defer func() { recover() }()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := registry.NewGraph(graphSpec, params, rng)
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+func runOnce(t *testing.T, protoSpec, graphSpec, advSpec string, n int, seed int64) *core.Result {
+	t.Helper()
+	params := registry.Params{N: n, K: 2, P: 0.5, Seed: seed}
+	g := buildGraph(graphSpec, params, seed)
+	if g == nil {
+		return nil
+	}
+	params.N = g.N()
+	proto, err := registry.NewProtocol(protoSpec, params)
+	if err != nil {
+		t.Fatalf("NewProtocol(%s): %v", protoSpec, err)
+	}
+	adv, err := registry.NewAdversary(advSpec, params)
+	if err != nil {
+		t.Fatalf("NewAdversary(%s): %v", advSpec, err)
+	}
+	return engine.Run(proto, g, adv, engine.Options{})
+}
+
+// diffResults reports the first divergence between two runs, or "".
+func diffResults(a, b *core.Result) string {
+	switch {
+	case a.Status != b.Status:
+		return fmt.Sprintf("status %v != %v", a.Status, b.Status)
+	case a.Rounds != b.Rounds:
+		return fmt.Sprintf("rounds %d != %d", a.Rounds, b.Rounds)
+	case a.MaxBits != b.MaxBits:
+		return fmt.Sprintf("maxbits %d != %d", a.MaxBits, b.MaxBits)
+	case !slices.Equal(a.Writes, b.Writes):
+		return fmt.Sprintf("writes %v != %v", a.Writes, b.Writes)
+	case a.Board.Key() != b.Board.Key():
+		return "board contents differ"
+	case fmt.Sprint(a.Output) != fmt.Sprint(b.Output):
+		return fmt.Sprintf("output %v != %v", a.Output, b.Output)
+	case fmt.Sprint(a.Err) != fmt.Sprint(b.Err):
+		return fmt.Sprintf("err %v != %v", a.Err, b.Err)
+	}
+	return ""
+}
+
+// TestScriptMatchesNativeAdversaries is the differential pin for the DSL:
+// the scripted reimplementations of the min-id and max-id adversaries
+// produce byte-identical executions — same schedule, same board, same
+// verdict — across every registered protocol and graph family at n ≤ 5.
+// Protocols and adversaries are rebuilt per run so no state leaks between
+// the native and scripted executions.
+func TestScriptMatchesNativeAdversaries(t *testing.T) {
+	pairs := []struct{ native, script string }{
+		{"min", "script:min(candidates)"},
+		{"max", "script:max(candidates)"},
+	}
+	for _, proto := range registry.Protocols() {
+		spec := protocolSpec(proto)
+		for _, g := range registry.Graphs() {
+			for n := 2; n <= 5; n++ {
+				seed := int64(1000*n + 7)
+				for _, pair := range pairs {
+					want := runOnce(t, spec, g, pair.native, n, seed)
+					got := runOnce(t, spec, g, pair.script, n, seed)
+					if want == nil || got == nil {
+						if (want == nil) != (got == nil) {
+							t.Fatalf("%s/%s n=%d: graph build diverged", proto, g, n)
+						}
+						continue
+					}
+					if d := diffResults(want, got); d != "" {
+						t.Errorf("%s/%s n=%d %s vs %s: %s",
+							proto, g, n, pair.native, pair.script, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScriptedSugarMatchesNative pins satellite semantics: the registry's
+// "scripted:<order>" — now sugar compiling to the DSL prefer(...) — makes
+// exactly the choices of the original native adversary.Scripted over every
+// candidate subset, and over whole engine runs.
+func TestScriptedSugarMatchesNative(t *testing.T) {
+	order := []int{3, 1, 4, 2, 5}
+	sugar, err := registry.NewAdversary("scripted:3,1,4,2,5", registry.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBoard()
+	// Every non-empty subset of {1..5}, ascending, as the engine presents it.
+	for mask := 1; mask < 1<<5; mask++ {
+		var cands []int
+		for v := 1; v <= 5; v++ {
+			if mask&(1<<(v-1)) != 0 {
+				cands = append(cands, v)
+			}
+		}
+		native := adversary.NewScripted(order)
+		want := native.Choose(0, cands, b)
+		got := sugar.Choose(0, cands, b)
+		if got != want {
+			t.Errorf("candidates %v: sugar chose %d, native chose %d", cands, got, want)
+		}
+	}
+	for _, proto := range []string{"bfs", "mis", "connectivity"} {
+		for n := 2; n <= 5; n++ {
+			want := runOnce(t, proto, "gnp", "scripted:3,1,4,2,5", n, int64(n))
+			params := registry.Params{N: n, K: 2, P: 0.5, Seed: int64(n)}
+			g := buildGraph("gnp", params, int64(n))
+			if want == nil || g == nil {
+				t.Fatalf("gnp n=%d failed to build", n)
+			}
+			params.N = g.N()
+			p, err := registry.NewProtocol(proto, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := engine.Run(p, g, adversary.NewScripted(order), engine.Options{})
+			if d := diffResults(want, got); d != "" {
+				t.Errorf("%s/gnp n=%d: sugar vs native scripted: %s", proto, n, d)
+			}
+		}
+	}
+}
+
+// TestScriptCampaignDeterministicAcrossWorkers extends the campaign
+// worker-count contract to every scripted construct at once: DSL
+// adversaries, the scripted sugar, the spec-level script field, and a
+// gated protocol all land byte-identical reports at 1, 2 and 8 workers.
+func TestScriptCampaignDeterministicAcrossWorkers(t *testing.T) {
+	spec := campaign.Spec{
+		Name:      "scripted-differential",
+		Protocols: []string{"bfs", "gate:mis:id % 2 == 1 or id == n"},
+		Graphs:    []string{"path", "gnp"},
+		Adversaries: []string{
+			"script:pick(round)",
+			"script:lastwriter == -1 ? max(candidates) : min(candidates)",
+			"scripted:3,1,2",
+			"script",
+		},
+		Script: "candidates[mod(round * 7, len(candidates))]",
+		Sizes:  []int{4, 5},
+		Seeds:  2,
+		P:      0.5,
+	}
+	var reference []byte
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := campaign.Run(spec, campaign.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Totals.Failed != 0 {
+			t.Fatalf("workers=%d: %d failed runs in an all-valid scripted sweep", workers, rep.Totals.Failed)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(reference, buf.Bytes()) {
+			t.Errorf("workers=%d report differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRunawayScriptFailsCampaign pins the sandbox contract at the campaign
+// level: a script that exhausts its evaluation budget fails its runs —
+// Failed, with the cell carrying the positioned script error — rather than
+// hanging or aborting the sweep.
+func TestRunawayScriptFailsCampaign(t *testing.T) {
+	spec := campaign.Spec{
+		Protocols:   []string{"bfs"},
+		Graphs:      []string{"path"},
+		Adversaries: []string{"script:def f(k) = f(k); f(round)"},
+		Sizes:       []int{4},
+	}
+	rep, err := campaign.Run(spec, campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Failed != rep.Totals.Runs || rep.Totals.Runs == 0 {
+		t.Fatalf("runaway script: totals %+v, want all runs Failed", rep.Totals)
+	}
+}

@@ -1,0 +1,87 @@
+package scenario
+
+// lex.go: the token stream. The language is ASCII-only — identifiers,
+// decimal integers, and a fixed operator set — so the lexer is a single
+// byte scan with two-byte lookahead for ==, !=, <=, >=.
+
+import "strconv"
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokIdent // includes the keywords def, true, false, and, or, not
+	tokOp    // punctuation and operators; text carries the spelling
+)
+
+type token struct {
+	kind tokKind
+	pos  int    // byte offset of the token's first byte
+	text string // identifier spelling or operator text
+	val  int64  // tokInt value
+}
+
+// keywords are reserved identifier spellings; the parser gives them
+// grammar roles and the checker never sees them as names.
+var keywords = map[string]bool{
+	"def": true, "true": true, "false": true,
+	"and": true, "or": true, "not": true,
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentByte(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// lex tokenizes src, ending the stream with a tokEOF carrying pos =
+// len(src).
+func lex(src string) ([]token, *Error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isDigit(c):
+			start := i
+			for i < len(src) && isDigit(src[i]) {
+				i++
+			}
+			v, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, errAt(src, start, "integer literal %s does not fit in 64 bits", src[start:i])
+			}
+			toks = append(toks, token{kind: tokInt, pos: start, text: src[start:i], val: v})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentByte(src[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, pos: start, text: src[start:i]})
+		default:
+			// Two-byte operators first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				if two == "==" || two == "!=" || two == "<=" || two == ">=" {
+					toks = append(toks, token{kind: tokOp, pos: i, text: two})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', '[', ']', ',', ';', '?', ':', '=', '<', '>', '+', '-', '*', '/', '%':
+				toks = append(toks, token{kind: tokOp, pos: i, text: src[i : i+1]})
+				i++
+			default:
+				return nil, errAt(src, i, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

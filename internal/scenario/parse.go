@@ -1,0 +1,537 @@
+package scenario
+
+// parse.go: recursive-descent parser for the scenario grammar, plus the
+// canonical printer. The grammar, from loosest to tightest binding:
+//
+//	script  := def* expr
+//	def     := "def" IDENT "(" [IDENT ("," IDENT)*] ")" "=" expr ";"
+//	expr    := or "?" expr ":" expr | or          (right-associative)
+//	or      := and ("or" and)*
+//	and     := neg ("and" neg)*
+//	neg     := "not" neg | cmp
+//	cmp     := sum [("=="|"!="|"<"|"<="|">"|">=") sum]   (non-associative)
+//	sum     := term (("+"|"-") term)*
+//	term    := unary (("*"|"/"|"%") unary)*
+//	unary   := "-" unary | postfix
+//	postfix := primary ("[" expr "]")*
+//	primary := INT | "true" | "false" | IDENT | IDENT "(" args ")" | "(" expr ")"
+//
+// Comparisons deliberately do not chain (a < b < c is a parse error):
+// the checker would reject it anyway (bool < int) but the parser message
+// is clearer. Parse depth and total node count are budgeted so an
+// adversarial source cannot blow the stack or the heap.
+
+import (
+	"strconv"
+	"strings"
+)
+
+// node is a typed-AST vertex. pos() is the byte offset used for error
+// positions.
+type node interface{ pos() int }
+
+type intLit struct {
+	p   int
+	val int64
+}
+
+type boolLit struct {
+	p   int
+	val bool
+}
+
+type varRef struct {
+	p    int
+	name string
+}
+
+type unaryNode struct {
+	p  int
+	op string // "-" or "not"
+	x  node
+}
+
+type binaryNode struct {
+	p    int
+	op   string // + - * / % == != < <= > >= and or
+	x, y node
+}
+
+type ternaryNode struct {
+	p                 int
+	cond, then, else_ node
+}
+
+type indexNode struct {
+	p    int
+	x, i node
+}
+
+type callNode struct {
+	p    int
+	name string
+	args []node
+}
+
+type defNode struct {
+	p      int
+	name   string
+	params []string
+	body   node
+}
+
+func (n *intLit) pos() int      { return n.p }
+func (n *boolLit) pos() int     { return n.p }
+func (n *varRef) pos() int      { return n.p }
+func (n *unaryNode) pos() int   { return n.p }
+func (n *binaryNode) pos() int  { return n.p }
+func (n *ternaryNode) pos() int { return n.p }
+func (n *indexNode) pos() int   { return n.p }
+func (n *callNode) pos() int    { return n.p }
+func (n *defNode) pos() int     { return n.p }
+
+type parser struct {
+	src    string
+	toks   []token
+	i      int
+	depth  int
+	nodes  int
+	lexErr *Error
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the next token is the given operator or keyword.
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return (t.kind == tokOp || t.kind == tokIdent) && t.text == text
+}
+
+// eat consumes the given operator/keyword or fails.
+func (p *parser) eat(text string) *Error {
+	if !p.at(text) {
+		return errAt(p.src, p.peek().pos, "expected %q, got %s", text, describe(p.peek()))
+	}
+	p.next()
+	return nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of script"
+	case tokInt:
+		return t.text
+	default:
+		return "\"" + t.text + "\""
+	}
+}
+
+// count charges one AST node against the budget.
+func (p *parser) count(at int) *Error {
+	p.nodes++
+	if p.nodes > MaxNodes {
+		return errAt(p.src, at, "script exceeds %d AST nodes", MaxNodes)
+	}
+	return nil
+}
+
+func (p *parser) enter(at int) *Error {
+	p.depth++
+	if p.depth > MaxParseDepth {
+		return errAt(p.src, at, "script nests deeper than %d levels", MaxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// parseScript parses def* expr EOF.
+func (p *parser) parseScript() ([]*defNode, node, *Error) {
+	var defs []*defNode
+	for p.at("def") {
+		d, err := p.parseDef()
+		if err != nil {
+			return nil, nil, err
+		}
+		defs = append(defs, d)
+	}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, nil, errAt(p.src, t.pos, "unexpected %s after the result expression", describe(t))
+	}
+	return defs, root, nil
+}
+
+func (p *parser) parseDef() (*defNode, *Error) {
+	at := p.peek().pos
+	p.next() // "def"
+	name := p.peek()
+	if name.kind != tokIdent || keywords[name.text] {
+		return nil, errAt(p.src, name.pos, "expected a function name after def, got %s", describe(name))
+	}
+	p.next()
+	if err := p.eat("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(")") {
+		for {
+			t := p.peek()
+			if t.kind != tokIdent || keywords[t.text] {
+				return nil, errAt(p.src, t.pos, "expected a parameter name, got %s", describe(t))
+			}
+			params = append(params, t.text)
+			p.next()
+			if !p.at(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.eat(")"); err != nil {
+		return nil, err
+	}
+	if err := p.eat("="); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eat(";"); err != nil {
+		return nil, err
+	}
+	if err := p.count(at); err != nil {
+		return nil, err
+	}
+	return &defNode{p: at, name: name.text, params: params, body: body}, nil
+}
+
+// parseExpr parses a full expression (the ternary level).
+func (p *parser) parseExpr() (node, *Error) {
+	at := p.peek().pos
+	if err := p.enter(at); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at("?") {
+		return cond, nil
+	}
+	p.next()
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eat(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.count(cond.pos()); err != nil {
+		return nil, err
+	}
+	return &ternaryNode{p: cond.pos(), cond: cond, then: then, else_: els}, nil
+}
+
+func (p *parser) parseOr() (node, *Error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("or") {
+		opPos := p.peek().pos
+		p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(opPos); err != nil {
+			return nil, err
+		}
+		x = &binaryNode{p: opPos, op: "or", x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (node, *Error) {
+	x, err := p.parseNeg()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("and") {
+		opPos := p.peek().pos
+		p.next()
+		y, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(opPos); err != nil {
+			return nil, err
+		}
+		x = &binaryNode{p: opPos, op: "and", x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseNeg() (node, *Error) {
+	if p.at("not") {
+		at := p.peek().pos
+		if err := p.enter(at); err != nil {
+			return nil, err
+		}
+		defer p.leave()
+		p.next()
+		x, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(at); err != nil {
+			return nil, err
+		}
+		return &unaryNode{p: at, op: "not", x: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (node, *Error) {
+	x, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range [...]string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.at(op) {
+			opPos := p.peek().pos
+			p.next()
+			y, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.count(opPos); err != nil {
+				return nil, err
+			}
+			return &binaryNode{p: opPos, op: op, x: x, y: y}, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parseSum() (node, *Error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.peek()
+		p.next()
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(op.pos); err != nil {
+			return nil, err
+		}
+		x = &binaryNode{p: op.pos, op: op.text, x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseTerm() (node, *Error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") || p.at("/") || p.at("%") {
+		op := p.peek()
+		p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(op.pos); err != nil {
+			return nil, err
+		}
+		x = &binaryNode{p: op.pos, op: op.text, x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseUnary() (node, *Error) {
+	if p.at("-") {
+		at := p.peek().pos
+		if err := p.enter(at); err != nil {
+			return nil, err
+		}
+		defer p.leave()
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.count(at); err != nil {
+			return nil, err
+		}
+		return &unaryNode{p: at, op: "-", x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (node, *Error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("[") {
+		at := p.peek().pos
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat("]"); err != nil {
+			return nil, err
+		}
+		if err := p.count(at); err != nil {
+			return nil, err
+		}
+		x = &indexNode{p: at, x: x, i: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (node, *Error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		if err := p.count(t.pos); err != nil {
+			return nil, err
+		}
+		return &intLit{p: t.pos, val: t.val}, nil
+	case t.kind == tokIdent && (t.text == "true" || t.text == "false"):
+		p.next()
+		if err := p.count(t.pos); err != nil {
+			return nil, err
+		}
+		return &boolLit{p: t.pos, val: t.text == "true"}, nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.next()
+		if !p.at("(") {
+			if err := p.count(t.pos); err != nil {
+				return nil, err
+			}
+			return &varRef{p: t.pos, name: t.text}, nil
+		}
+		p.next()
+		var args []node
+		if !p.at(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.at(",") {
+					break
+				}
+				p.next()
+			}
+		}
+		if err := p.eat(")"); err != nil {
+			return nil, err
+		}
+		if err := p.count(t.pos); err != nil {
+			return nil, err
+		}
+		return &callNode{p: t.pos, name: t.text, args: args}, nil
+	case t.kind == tokOp && t.text == "(":
+		if err := p.enter(t.pos); err != nil {
+			return nil, err
+		}
+		defer p.leave()
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errAt(p.src, t.pos, "expected an expression, got %s", describe(t))
+	}
+}
+
+// printNode writes n's canonical form: every operator application fully
+// parenthesized, so precedence is explicit and parse(print(ast)) == ast.
+func printNode(sb *strings.Builder, n node) {
+	switch n := n.(type) {
+	case *intLit:
+		sb.WriteString(strconv.FormatInt(n.val, 10))
+	case *boolLit:
+		if n.val {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case *varRef:
+		sb.WriteString(n.name)
+	case *unaryNode:
+		sb.WriteByte('(')
+		sb.WriteString(n.op)
+		if n.op == "not" {
+			sb.WriteByte(' ')
+		}
+		printNode(sb, n.x)
+		sb.WriteByte(')')
+	case *binaryNode:
+		sb.WriteByte('(')
+		printNode(sb, n.x)
+		sb.WriteByte(' ')
+		sb.WriteString(n.op)
+		sb.WriteByte(' ')
+		printNode(sb, n.y)
+		sb.WriteByte(')')
+	case *ternaryNode:
+		sb.WriteByte('(')
+		printNode(sb, n.cond)
+		sb.WriteString(" ? ")
+		printNode(sb, n.then)
+		sb.WriteString(" : ")
+		printNode(sb, n.else_)
+		sb.WriteByte(')')
+	case *indexNode:
+		printNode(sb, n.x)
+		sb.WriteByte('[')
+		printNode(sb, n.i)
+		sb.WriteByte(']')
+	case *callNode:
+		sb.WriteString(n.name)
+		sb.WriteByte('(')
+		for i, a := range n.args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printNode(sb, a)
+		}
+		sb.WriteByte(')')
+	}
+}

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mustChoose(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := CompileChoose(src)
+	if err != nil {
+		t.Fatalf("CompileChoose(%q): %v", src, err)
+	}
+	return p
+}
+
+func evalChoose(t *testing.T, src string, round int, candidates []int, boardLen, last int) int {
+	t.Helper()
+	got, err := mustChoose(t, src).EvalChoose(round, candidates, boardLen, last)
+	if err != nil {
+		t.Fatalf("EvalChoose(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestEvalChooseBasics(t *testing.T) {
+	cands := []int{2, 5, 9}
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"min(candidates)", 2},
+		{"max(candidates)", 9},
+		{"candidates[0]", 2},
+		{"candidates[len(candidates) - 1]", 9},
+		{"candidates[argmax(candidates)]", 9},
+		{"candidates[argmin(candidates)]", 2},
+		{"pick(round)", 5},     // round 1 mod 3 candidates
+		{"pick(-1)", 9},        // mathematical mod: -1 → index 2
+		{"prefer(7, 5, 2)", 5}, // 7 absent, 5 present
+		{"prefer(1, 3)", 2},    // none present → candidates[0]
+		{"has(5) ? max(candidates) : min(candidates)", 9},
+		{"has(4) ? max(candidates) : min(candidates)", 2},
+		{"min(9, 5, 2)", 2},
+		{"max(2 + 3, 9 - 9)", 5},
+		{"mod(-7, 5) + 2", 5},                          // mod(-7,5)=3
+		{"powmod(2, 10, 1023) - 1 + candidates[0]", 2}, // 2^10 mod 1023 = 1
+		{"round + boardlen + lastwriter + 5", 5},       // 1 + 0 + (-1) + 5
+		{"true and false ? 9 : 2", 2},
+		{"not has(4) ? 9 : 2", 9},
+		{"1 < 2 and 2 <= 2 ? 5 : 9", 5},
+		{"def f(x) = x * 2; prefer(f(1))", 2},
+		{"def fib(k) = k < 2 ? k : fib(k-1) + fib(k-2); prefer(fib(5))", 5},
+	}
+	for _, c := range cases {
+		if got := evalChoose(t, c.src, 1, cands, 0, -1); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalActivate(t *testing.T) {
+	p, err := CompileActivate("id % 2 == 1 or degree > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		id, degree int
+		want       bool
+	}{{1, 0, true}, {2, 1, false}, {2, 3, true}} {
+		got, err := p.EvalActivate(c.id, 5, c.degree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("id=%d degree=%d: got %v, want %v", c.id, c.degree, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos string // "line:col" prefix after "script:"
+		wantSub string
+	}{
+		{"", "1:1", "empty script"},
+		{"candidates[", "1:12", "expected an expression"},
+		{"1 +", "1:4", "expected an expression"},
+		{"min(candidates) extra", "1:17", "after the result expression"},
+		{"candiates[0]", "1:1", "did you mean candidates?"},
+		{"true", "1:1", "must be int"},
+		{"1 < 2", "1:3", "must be int"},
+		{"min(true)", "1:1", "wrong arguments for min"},
+		{"not 3", "1:1", "not wants bool"},
+		{"1 < 2 < 3", "1:7", "after the result expression"}, // comparisons do not chain
+		{"def f(x) = x; def f(y) = y; f(1)", "1:15", "defined twice"},
+		{"def len(x) = x; len(1)", "1:1", "cannot redefine built-in"},
+		{"def f(round) = round; f(1)", "1:1", "shadows a built-in variable"},
+		{"f(1)", "1:1", "unknown identifier f"},
+		{"pick", "1:1", "pick is a function"},
+		{"@", "1:1", "unexpected character"},
+		{"99999999999999999999", "1:1", "does not fit in 64 bits"},
+	}
+	for _, c := range cases {
+		_, err := CompileChoose(c.src)
+		if err == nil {
+			t.Errorf("CompileChoose(%q): expected error", c.src)
+			continue
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "script:"+c.wantPos+":") {
+			t.Errorf("CompileChoose(%q) = %q, want position %s", c.src, msg, c.wantPos)
+		}
+		if !strings.Contains(msg, c.wantSub) {
+			t.Errorf("CompileChoose(%q) = %q, want substring %q", c.src, msg, c.wantSub)
+		}
+	}
+}
+
+func TestActivateModeRejectsChooseStdlib(t *testing.T) {
+	for _, src := range []string{"has(1)", "pick(0) > 0", "len(candidates) > 0", "round > 0"} {
+		if _, err := CompileActivate(src); err == nil {
+			t.Errorf("CompileActivate(%q): expected error", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"1 / (round - 1)", "division by zero"},
+		{"1 % (round - 1)", "division by zero"},
+		{"candidates[5]", "out of range"},
+		{"candidates[-1]", "out of range"},
+		{"mod(3, 0)", "modulus must be positive"},
+		{"powmod(2, -1, 7)", "powmod"},
+		{"def f(x) = f(x); f(1)", "budget"}, // infinite recursion: steps or depth
+	}
+	for _, c := range cases {
+		p := mustChoose(t, c.src)
+		_, err := p.EvalChoose(1, []int{1, 2}, 0, -1)
+		if err == nil {
+			t.Errorf("EvalChoose(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) && !strings.Contains(err.Error(), "depth") {
+			t.Errorf("EvalChoose(%q) = %q, want substring %q", c.src, err.Error(), c.wantSub)
+		}
+	}
+}
+
+func TestEvalBudgetTerminates(t *testing.T) {
+	// A deeply recursive but convergent script must hit the step budget,
+	// not hang: ack-like blowup bounded by MaxEvalSteps.
+	p := mustChoose(t, "def f(k) = k <= 0 ? 1 : f(k-1) + f(k-1); prefer(f(60))")
+	_, err := p.EvalChoose(1, []int{1}, 0, -1)
+	if err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("got %q, want budget error", err)
+	}
+}
+
+func TestCallDepthBudget(t *testing.T) {
+	// Linear recursion deeper than MaxCallDepth but cheaper than the step
+	// budget must trip the depth cap specifically.
+	p := mustChoose(t, "def f(k) = k <= 0 ? 1 : f(k-1); prefer(f(5000))")
+	_, err := p.EvalChoose(1, []int{1}, 0, -1)
+	if err == nil {
+		t.Fatal("expected call-depth exhaustion")
+	}
+	if !strings.Contains(err.Error(), "call depth") {
+		t.Fatalf("got %q, want call-depth error", err)
+	}
+}
+
+func TestSourceBudgets(t *testing.T) {
+	if _, err := CompileChoose(strings.Repeat(" ", MaxSourceBytes+1)); err == nil {
+		t.Error("oversized source accepted")
+	}
+	deep := strings.Repeat("(", MaxParseDepth+1) + "1" + strings.Repeat(")", MaxParseDepth+1)
+	if _, err := CompileChoose(deep); err == nil {
+		t.Error("over-deep nesting accepted")
+	}
+}
+
+func TestPrintParseFixpoint(t *testing.T) {
+	srcs := []string{
+		"def f(x, y) = x * y + 1; f(round, 2) % 5 + candidates[0]",
+		"has(3) and not has(4) or round == 0 ? min(candidates) : pick(round - -1)",
+		"-  -5 + (((round)))",
+		"powmod(mod(round, 7), 3, 11)",
+	}
+	for _, src := range srcs {
+		p := mustChoose(t, src)
+		printed := p.String()
+		p2, err := CompileChoose(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed from %q): %v", printed, src, err)
+		}
+		if p2.String() != printed {
+			t.Errorf("print∘parse not a fixpoint:\n first: %s\nsecond: %s", printed, p2.String())
+		}
+	}
+}
+
+func TestAdversaryFaultsOnBadChoice(t *testing.T) {
+	// A script returning a non-candidate records a fault and yields -1.
+	p := mustChoose(t, "max(candidates) + 1")
+	adv, err := NewAdversary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Choose(0, []int{1, 2}, core.NewBoard()); got != -1 {
+		t.Fatalf("Choose = %d, want -1", got)
+	}
+	if adv.Fault() == nil {
+		t.Fatal("fault not recorded")
+	}
+	// Faults are sticky.
+	if got := adv.Choose(1, []int{1, 2}, core.NewBoard()); got != -1 {
+		t.Fatalf("post-fault Choose = %d, want -1", got)
+	}
+}
+
+func TestAdversaryTracksLastWriter(t *testing.T) {
+	p := mustChoose(t, "lastwriter == -1 ? max(candidates) : min(candidates)")
+	adv, err := NewAdversary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBoard()
+	if got := adv.Choose(0, []int{1, 2, 3}, b); got != 3 {
+		t.Fatalf("first Choose = %d, want 3", got)
+	}
+	if got := adv.Choose(1, []int{1, 2}, b); got != 1 {
+		t.Fatalf("second Choose = %d, want 1", got)
+	}
+}
+
+func TestModeMismatch(t *testing.T) {
+	choose := mustChoose(t, "min(candidates)")
+	if _, err := choose.EvalActivate(1, 2, 3, 4); err == nil {
+		t.Error("EvalActivate on a choose program: expected error")
+	}
+	if _, err := NewGate(nil, choose); err == nil {
+		t.Error("NewGate with a choose program: expected error")
+	}
+	act, err := CompileActivate("id > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.EvalChoose(0, []int{1}, 0, -1); err == nil {
+		t.Error("EvalChoose on an activate program: expected error")
+	}
+	if _, err := NewAdversary(act); err == nil {
+		t.Error("NewAdversary with an activate program: expected error")
+	}
+}

@@ -76,6 +76,12 @@ func TestErrorEnvelope(t *testing.T) {
 		{name: "submit oversized graph", method: "POST", target: "/api/v1/campaigns",
 			body:       []byte(`{"protocols":["build-forest"],"graphs":["path"],"adversaries":["min"],"sizes":[2097152]}`),
 			wantStatus: 400, wantCode: ErrCodeBadSpec},
+		{name: "submit bad script", method: "POST", target: "/api/v1/campaigns",
+			body:       []byte(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["script:candiates[0]"],"sizes":[4]}`),
+			wantStatus: 400, wantCode: ErrCodeBadScript},
+		{name: "submit bad spec script field", method: "POST", target: "/api/v1/campaigns",
+			body:       []byte(`{"protocols":["bfs"],"graphs":["path"],"adversaries":["script"],"sizes":[4],"script":"1 +"}`),
+			wantStatus: 400, wantCode: ErrCodeBadScript},
 		{name: "submit bad label", method: "POST", target: "/api/v1/campaigns?label=bad%21label",
 			body: specBody, wantStatus: 400, wantCode: ErrCodeBadLabel},
 		{name: "submit reserved label", method: "POST", target: "/api/v1/campaigns?label=run-007",

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/resultstore"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
 
@@ -428,6 +429,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
+		// A scenario-script defect gets its own stable code: the position-
+		// carrying compile error reaches the client verbatim, before any
+		// job id is allocated.
+		var serr *scenario.Error
+		if errors.As(err, &serr) {
+			s.error(w, http.StatusBadRequest, ErrCodeBadScript, err.Error())
+			return
+		}
 		s.error(w, http.StatusBadRequest, ErrCodeBadSpec, err.Error())
 		return
 	}

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/resultstore"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
 
@@ -122,6 +123,10 @@ func New(opts Options) (*Server, error) {
 	if tel == nil {
 		tel = telemetry.NewSet()
 	}
+	// Script compiles and evaluator steps record into this server's
+	// registry; the hook is process-global, matching the one-registry-
+	// per-process shape of every binary here.
+	scenario.SetMetrics(tel.Scenario)
 	tracer := opts.Tracer
 	if tracer == nil {
 		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
@@ -213,6 +218,7 @@ func (s *Server) methodNotAllowed(allow string) http.Handler {
 const (
 	ErrCodeBadRequest       = "bad_request"        // malformed query/body parameter
 	ErrCodeBadSpec          = "bad_spec"           // body parsed but the spec does not validate
+	ErrCodeBadScript        = "bad_script"         // a scenario script in the spec fails to compile
 	ErrCodeBadLabel         = "bad_label"          // label cannot name a stored run
 	ErrCodeLabelTaken       = "label_taken"        // label already names (or is reserved for) a run
 	ErrCodeNotFound         = "not_found"          // no such report, diff operand, job or route

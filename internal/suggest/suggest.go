@@ -1,0 +1,59 @@
+// Package suggest provides the "did you mean" typo suggestion shared by
+// the component registry (unknown protocol/graph/adversary names) and the
+// scenario type checker (unknown script identifiers): the closest known
+// name by edit distance, if it is close enough to plausibly be a typo.
+package suggest
+
+import "strings"
+
+// Closest returns the known name with the smallest edit distance to name,
+// or "" when even the best match is too far away to be a likely typo. The
+// comparison is case-insensitive; the returned string is the known name's
+// original spelling.
+func Closest(name string, known []string) string {
+	best, bestD := "", 1<<30
+	for _, k := range known {
+		if d := editDistance(strings.ToLower(name), strings.ToLower(k)); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	limit := len(name)/2 + 1
+	if limit > 3 {
+		limit = 3
+	}
+	if bestD <= limit {
+		return best
+	}
+	return ""
+}
+
+// editDistance is the Levenshtein distance with two rolling rows.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -18,6 +18,7 @@ type Set struct {
 	Jobs     *JobMetrics
 	SSE      *SSEMetrics
 	Fabric   *FabricMetrics
+	Scenario *ScenarioMetrics
 }
 
 // Nop is the disabled sensor grid: every group is nil and every recording
@@ -87,6 +88,10 @@ func NewSet() *Set {
 			workers:        r.GaugeVec("wb_fabric_workers", "Fabric worker endpoints by health state.", "state"),
 			mergeLag:       r.Gauge("wb_fabric_merge_lag_cells", "Cells received by the fabric merger but not yet emitted in matrix order."),
 			cellsDeduped:   r.Counter("wb_fabric_cells_deduped_total", "Duplicate cells discarded by the fabric merger (overlapping shard attempts)."),
+		},
+		Scenario: &ScenarioMetrics{
+			compiles:  r.Counter("wb_scenario_compiles_total", "Scenario-DSL compilation attempts (spec validation and run construction)."),
+			evalSteps: r.Counter("wb_scenario_eval_steps_total", "Scenario-DSL evaluator steps spent across all script evaluations."),
 		},
 	}
 }
@@ -414,6 +419,39 @@ func (m *FabricMetrics) CellDeduped() {
 		return
 	}
 	m.cellsDeduped.Inc()
+}
+
+// ScenarioMetrics instruments the scenario DSL: compilation attempts and
+// evaluator step spend. Steps accumulate locally in each evaluation's
+// own counter first and are flushed once per Choose/Activate call, so
+// the per-node hot path carries no atomics.
+type ScenarioMetrics struct {
+	compiles  *Counter
+	evalSteps *Counter
+}
+
+// CompileDone records one compilation attempt (successful or not).
+func (m *ScenarioMetrics) CompileDone() {
+	if m == nil {
+		return
+	}
+	m.compiles.Inc()
+}
+
+// EvalSteps records the step spend of one completed script evaluation.
+func (m *ScenarioMetrics) EvalSteps(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.evalSteps.Add(n)
+}
+
+// Counts snapshots the lifetime tallies (compiles, eval steps).
+func (m *ScenarioMetrics) Counts() (compiles, evalSteps int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.compiles.Value(), m.evalSteps.Value()
 }
 
 // JobMetrics instruments the HTTP job API's lifetime counters. Monotonic

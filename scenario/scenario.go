@@ -1,0 +1,71 @@
+// Package scenario is the public SDK over the sandboxed scenario DSL: a
+// small deterministic expression language whose scripts ride inside
+// campaign specs as write-order adversaries ("script:<expr>" or the
+// spec's inline "script" field) and as activation predicates (the
+// "gate:<inner>:<pred>" protocol wrapper). It is the stable facade over
+// repro/internal/scenario.
+//
+// Scripts are pure functions of their inputs with a fixed stdlib and
+// hard step/recursion budgets per evaluation — no I/O, randomness or
+// time — so every run is exactly reproducible, and the script source
+// participates in the normalized spec hash, keeping stored results
+// content-addressed. See the README's "Scripted scenarios" section for
+// the grammar and stdlib reference.
+package scenario
+
+import (
+	whiteboard "repro"
+	internal "repro/internal/scenario"
+)
+
+// Budgets: compile-time source/AST/nesting caps and per-evaluation
+// step/call-depth caps. Exceeding an evaluation budget fails the run
+// (Failed), never hangs it.
+const (
+	MaxSourceBytes = internal.MaxSourceBytes
+	MaxNodes       = internal.MaxNodes
+	MaxParseDepth  = internal.MaxParseDepth
+	MaxEvalSteps   = internal.MaxEvalSteps
+	MaxCallDepth   = internal.MaxCallDepth
+)
+
+// Program is a compiled, immutable script; safe for concurrent use.
+type Program = internal.Program
+
+// Error is a positioned compile- or eval-time script failure; its
+// message renders as "script:line:col: ...".
+type Error = internal.Error
+
+// Mode selects the variable environment a script compiles against.
+type Mode = internal.Mode
+
+// The two compilation modes: writer choice (result type int, sees
+// round/candidates/boardlen/lastwriter) and activation predicates
+// (result type bool, sees id/n/degree/boardlen).
+const (
+	ModeChoose   = internal.ModeChoose
+	ModeActivate = internal.ModeActivate
+)
+
+// CompileChoose compiles a writer-choice script — the program behind a
+// "script:<expr>" adversary.
+func CompileChoose(src string) (*Program, error) { return internal.CompileChoose(src) }
+
+// CompileActivate compiles an activation predicate — the program behind
+// a "gate:<inner>:<pred>" protocol wrapper.
+func CompileActivate(src string) (*Program, error) { return internal.CompileActivate(src) }
+
+// NewAdversary adapts a writer-choice program to the engine's adversary
+// interface; a script failure mid-run fails the run with the positioned
+// script error.
+func NewAdversary(prog *Program) (whiteboard.Adversary, error) { return internal.NewAdversary(prog) }
+
+// NewGate wraps a protocol so nodes activate only when both the protocol
+// and the predicate agree; the declared model is lifted out of the
+// simultaneous class (SIMASYNC→ASYNC, SIMSYNC→SYNC) to match.
+func NewGate(inner whiteboard.Protocol, pred *Program) (whiteboard.Protocol, error) {
+	return internal.NewGate(inner, pred)
+}
+
+// Builtins returns the stdlib signatures, sorted — for help output.
+func Builtins() []string { return internal.Builtins() }
